@@ -1,0 +1,25 @@
+"""Benchmark-suite plumbing: collect regenerated figures and print them
+at the end of the run, so ``pytest benchmarks/ --benchmark-only`` leaves
+the paper-vs-measured tables in the terminal output."""
+
+from __future__ import annotations
+
+import pytest
+
+#: figures regenerated during this benchmark session, in arrival order
+_RESULTS: list = []
+
+
+@pytest.fixture()
+def figure_sink():
+    """Benchmarks deposit their FigureResult objects here."""
+    return _RESULTS.append
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.section("regenerated paper figures")
+    for result in _RESULTS:
+        terminalreporter.write_line(result.to_text())
+        terminalreporter.write_line("")

@@ -1,0 +1,22 @@
+"""FIG5 — Figure 5: impact of concurrent reads on concurrent appends to
+the same file (100 appenders fixed; readers 0→140).
+
+The paper's claim: "concurrent appenders maintain their throughput as
+well, when the number of concurrent readers from a shared file
+increases".
+"""
+
+import pytest
+
+from repro.experiments.figures import fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_appends_under_reads(benchmark, figure_sink):
+    result = benchmark.pedantic(lambda: fig5(scale="quick"), rounds=1, iterations=1)
+    figure_sink(result)
+    series = result.series[0]
+    assert series.xs[0] == 0 and series.xs[-1] == 140
+    # maintained: with 140 concurrent readers, appends keep >= 70% of
+    # their unperturbed throughput
+    assert series.ys[-1] >= 0.70 * series.ys[0]

@@ -1,0 +1,31 @@
+"""FIG6 — Figure 6: completion time of the data join application when
+varying the number of reducers, in both scenarios:
+
+* original Hadoop framework + HDFS → one output file per reducer;
+* modified framework + BSFS → all reducers append to one shared file.
+
+The paper's claims: "BSFS finishes the job in approximately the same
+amount of time as HDFS, and moreover, it produces a single output file";
+completion time "remains constant even when the number of reducers
+increases, because data join is a computation-intensive application".
+"""
+
+import pytest
+
+from repro.experiments.figures import fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_datajoin_completion_time(benchmark, figure_sink):
+    result = benchmark.pedantic(lambda: fig6(scale="quick"), rounds=1, iterations=1)
+    figure_sink(result)
+    hdfs, bsfs = result.series
+    # claim (a): no extra cost — BSFS within 10% of HDFS at every point
+    for h, b in zip(hdfs.ys, bsfs.ys):
+        assert b == pytest.approx(h, rel=0.10)
+    # claim (b): roughly constant completion time past the serial-reduce
+    # regime (R >= 10 points within 15% of each other)
+    flat_hdfs = hdfs.ys[1:]
+    assert max(flat_hdfs) <= 1.15 * min(flat_hdfs)
+    # claim (c): the BSFS run always leaves exactly one output file
+    assert "1" in result.notes or "[1]" in result.notes

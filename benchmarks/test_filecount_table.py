@@ -1,0 +1,35 @@
+"""TAB-FC — the file-count problem (paper §1, §3.2, implicit table).
+
+Runs the real data join on the real (threaded) runtimes and counts the
+files each framework leaves behind: the original framework produces one
+``part-NNNNN`` per reducer; the modified framework always produces one
+shared file, so "the number of files managed by the Map/Reduce framework
+is substantially reduced".
+"""
+
+import pytest
+
+from repro.experiments.figures import filecount_table
+
+
+@pytest.mark.benchmark(group="filecount")
+def test_filecount_table(benchmark, figure_sink):
+    result = benchmark.pedantic(
+        lambda: filecount_table(reducer_counts=(1, 2, 4, 8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    figure_sink(result)
+    by_label = {s.label: s for s in result.series}
+    reducers = by_label["HDFS output files"].xs
+    assert by_label["HDFS output files"].ys == reducers  # one per reducer
+    assert by_label["BSFS output files"].ys == [1.0] * len(reducers)
+    # the namespace gap widens linearly with reducers
+    gap = [
+        h - b
+        for h, b in zip(
+            by_label["HDFS namespace files"].ys,
+            by_label["BSFS namespace files"].ys,
+        )
+    ]
+    assert gap == [r - 1 for r in reducers]

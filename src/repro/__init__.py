@@ -1,0 +1,43 @@
+"""repro — reproduction of Moise, Antoniu & Bougé (HPDC'10):
+*Improving the Hadoop Map/Reduce Framework to Support Concurrent Appends
+through the BlobSeer BLOB management system*.
+
+The package provides:
+
+* :mod:`repro.blobseer` — a Python reimplementation of the BlobSeer
+  versioning BLOB store (providers, provider manager, distributed
+  segment-tree metadata over a DHT, centralized version manager,
+  replication, persistence);
+* :mod:`repro.bsfs` — the BlobSeer File System layer (namespace manager,
+  client block cache, layout/locality primitive);
+* :mod:`repro.hdfs` — an HDFS baseline with the paper's semantics
+  (write-once, no append, client buffering, readahead);
+* :mod:`repro.mapreduce` — a Hadoop-style Map/Reduce engine with both the
+  original (file-per-reducer) and the modified (shared-file append)
+  output paths;
+* :mod:`repro.sim` — a discrete-event cluster simulator standing in for
+  the Grid'5000 testbed;
+* :mod:`repro.experiments` — drivers that regenerate every figure of the
+  paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+from .common import (
+    CHUNK_SIZE,
+    BlobSeerConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    HDFSConfig,
+    MapReduceConfig,
+)
+
+__all__ = [
+    "__version__",
+    "CHUNK_SIZE",
+    "BlobSeerConfig",
+    "ClusterConfig",
+    "ExperimentConfig",
+    "HDFSConfig",
+    "MapReduceConfig",
+]

@@ -1,0 +1,35 @@
+"""Map/Reduce applications: the paper's data join plus classic workloads
+(word count, distributed grep, total-order sort)."""
+
+from .datajoin import (
+    make_datajoin_conf,
+    parse_join_output,
+    reference_join,
+    run_datajoin,
+)
+from .wordcount import (
+    make_wordcount_conf,
+    parse_counts,
+    run_wordcount,
+    wordcount_map,
+    wordcount_reduce,
+)
+from .grep import make_grep_conf, run_grep
+from .sort import make_sort_conf, run_sort, sample_split_points
+
+__all__ = [
+    "make_datajoin_conf",
+    "parse_join_output",
+    "reference_join",
+    "run_datajoin",
+    "make_wordcount_conf",
+    "parse_counts",
+    "run_wordcount",
+    "wordcount_map",
+    "wordcount_reduce",
+    "make_grep_conf",
+    "run_grep",
+    "make_sort_conf",
+    "run_sort",
+    "sample_split_points",
+]

@@ -1,0 +1,54 @@
+"""Distributed grep — Map/Reduce pattern matching (a Dean & Ghemawat
+original). Emits every matching line keyed by its pattern match; the
+reduce phase counts occurrences per match."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..mapreduce.job import Context, JobConf
+from ..mapreduce.runner import MapReduceCluster
+
+
+def make_grep_conf(
+    pattern: bytes,
+    input_paths: list[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+) -> JobConf:
+    """Count occurrences of a regex across the input files."""
+    regex = re.compile(pattern)
+
+    def grep_map(offset: int, line: bytes, ctx: Context) -> None:
+        for match in regex.finditer(line):
+            ctx.emit(match.group(0), 1)
+
+    def grep_reduce(match: bytes, counts: Iterable[int], ctx: Context) -> None:
+        ctx.emit(match, sum(counts))
+
+    return JobConf(
+        name="grep",
+        input_paths=input_paths,
+        output_dir=output_dir,
+        map_fn=grep_map,
+        reduce_fn=grep_reduce,
+        combiner_fn=grep_reduce,
+        n_reducers=n_reducers,
+        output_mode=output_mode,
+    )
+
+
+def run_grep(
+    cluster: MapReduceCluster,
+    pattern: bytes,
+    input_paths: list[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+):
+    """Run distributed grep; returns the job result."""
+    return cluster.run_job(
+        make_grep_conf(pattern, input_paths, output_dir, n_reducers, output_mode)
+    )

@@ -1,0 +1,86 @@
+"""Distributed sort — TeraSort-style total-order sort.
+
+Identity map/reduce with a *range partitioner* built by sampling the
+input: reducer *r* receives all keys in its range, so concatenating the
+(individually sorted) outputs in reducer order yields a globally sorted
+file. With the shared-append output mode the reducers' blocks land in
+completion order, not key order — a useful demonstration of what the
+shared file does and does not guarantee.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List
+
+from ..common.fs import FileSystem
+from ..mapreduce.io.input import KeyValueLineRecordReader, compute_splits
+from ..mapreduce.job import Context, JobConf
+from ..mapreduce.runner import MapReduceCluster
+
+
+def sample_split_points(
+    fs: FileSystem, input_paths: List[str], n_reducers: int, sample_limit: int = 10_000
+) -> List[bytes]:
+    """Sample keys from the input and derive ``n_reducers - 1`` cut points."""
+    keys: List[bytes] = []
+    for split in compute_splits(fs, input_paths):
+        for key, _value in KeyValueLineRecordReader(fs, split):
+            keys.append(key)
+            if len(keys) >= sample_limit:
+                break
+        if len(keys) >= sample_limit:
+            break
+    keys.sort()
+    if not keys or n_reducers <= 1:
+        return []
+    points = []
+    for r in range(1, n_reducers):
+        points.append(keys[(r * len(keys)) // n_reducers])
+    return points
+
+
+def make_sort_conf(
+    fs: FileSystem,
+    input_paths: List[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+) -> JobConf:
+    """Total-order sort job over tab-separated key/value input."""
+    cuts = sample_split_points(fs, input_paths, n_reducers)
+
+    def range_partitioner(key: bytes, n: int) -> int:
+        return bisect.bisect_right(cuts, key)
+
+    def identity_map(key: bytes, value: bytes, ctx: Context) -> None:
+        ctx.emit(key, value)
+
+    def identity_reduce(key: bytes, values: Iterable[bytes], ctx: Context) -> None:
+        for value in values:
+            ctx.emit(key, value)
+
+    return JobConf(
+        name="sort",
+        input_paths=input_paths,
+        output_dir=output_dir,
+        map_fn=identity_map,
+        reduce_fn=identity_reduce,
+        n_reducers=n_reducers,
+        partitioner=range_partitioner,
+        input_format="kv",
+        output_mode=output_mode,
+    )
+
+
+def run_sort(
+    cluster: MapReduceCluster,
+    input_paths: List[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+):
+    """Run the distributed sort; returns the job result."""
+    return cluster.run_job(
+        make_sort_conf(cluster.fs, input_paths, output_dir, n_reducers, output_mode)
+    )

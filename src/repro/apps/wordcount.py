@@ -1,0 +1,61 @@
+"""Word count — the canonical Map/Reduce application, used as the
+quickstart example and as a generic workload in tests/benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..mapreduce.job import Context, JobConf
+from ..mapreduce.runner import MapReduceCluster
+
+
+def wordcount_map(offset: int, line: bytes, ctx: Context) -> None:
+    """Emit ``(word, 1)`` for every whitespace-separated token."""
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def wordcount_reduce(word: bytes, counts: Iterable[int], ctx: Context) -> None:
+    """Sum the counts of one word."""
+    ctx.emit(word, sum(counts))
+
+
+def make_wordcount_conf(
+    input_paths: list[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+) -> JobConf:
+    """Word-count job configuration (combiner enabled, Hadoop-style)."""
+    return JobConf(
+        name="wordcount",
+        input_paths=input_paths,
+        output_dir=output_dir,
+        map_fn=wordcount_map,
+        reduce_fn=wordcount_reduce,
+        combiner_fn=wordcount_reduce,
+        n_reducers=n_reducers,
+        output_mode=output_mode,
+    )
+
+
+def run_wordcount(
+    cluster: MapReduceCluster,
+    input_paths: list[str],
+    output_dir: str,
+    n_reducers: int = 1,
+    output_mode: str = "separate",
+):
+    """Run word count; returns the job result."""
+    return cluster.run_job(
+        make_wordcount_conf(input_paths, output_dir, n_reducers, output_mode)
+    )
+
+
+def parse_counts(data: bytes) -> dict[bytes, int]:
+    """Parse ``word<TAB>count`` output lines into a dict."""
+    out: dict[bytes, int] = {}
+    for line in data.splitlines():
+        word, count = line.split(b"\t")
+        out[word] = int(count)
+    return out

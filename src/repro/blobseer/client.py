@@ -1,0 +1,416 @@
+"""Threaded (real-bytes) BlobSeer service and client.
+
+This runtime actually stores and serves data, with genuine concurrency:
+many threads may append to the same BLOB simultaneously and the
+versioning protocol guarantees each append lands intact at its assigned
+offset, while readers of published versions are never disturbed.
+
+The write/append data path follows :mod:`repro.blobseer.version_manager`:
+
+* the update's bytes are shipped to providers as position-independent
+  stored objects, in parallel, immediately after version assignment;
+* during the client's *metadata turn* (sequenced by the version
+  manager) the new segment-tree leaves are formed by **overlaying**
+  fragment descriptors over the previous version's — no old data is
+  ever read back or rewritten, so unaligned concurrent appends cost
+  exactly one metadata read per boundary page;
+* the tree for the new version is written to the metadata DHT and the
+  version is committed, which publishes versions in order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import BlobSeerConfig
+from ..common.errors import (
+    OutOfRangeReadError,
+    PageNotFoundError,
+    ProviderUnavailableError,
+    ReplicationError,
+)
+from ..common.intervals import Extent
+from .metadata.dht import MetadataDHT
+from .metadata.segment_tree import (
+    NodeKey,
+    build_version,
+    capacity_for,
+    iter_all_pages,
+    query_pages,
+)
+from .pages import Fragment, PageFragments, PageId, fresh_page_id, overlay
+from .provider import Provider
+from .provider_manager import ProviderManager
+from .version_manager import ThreadedVersionManager, Ticket
+
+
+class BlobSeerService:
+    """One in-process BlobSeer deployment: VM + PM + metadata DHT + providers."""
+
+    def __init__(
+        self,
+        config: Optional[BlobSeerConfig] = None,
+        n_providers: int = 8,
+        seed: int = 0,
+        store_factory=None,
+    ) -> None:
+        """*store_factory*, when given, is called with each provider's name
+        and must return a :class:`~repro.blobseer.persistence.PageStore`
+        (used to give providers durable log-structured backends)."""
+        self.config = config or BlobSeerConfig()
+        self.config.validate()
+        if n_providers < 1:
+            raise ValueError("need at least one provider")
+        names = [f"provider-{i:03d}" for i in range(n_providers)]
+        self.providers: Dict[str, Provider] = {
+            name: Provider(name, store_factory(name) if store_factory else None)
+            for name in names
+        }
+        self.version_manager = ThreadedVersionManager()
+        self.dht = MetadataDHT(self.config.metadata_providers)
+        self.provider_manager = ProviderManager(names, seed=seed)
+
+    # -- service operations -------------------------------------------------
+
+    def create_blob(self, page_size: Optional[int] = None) -> int:
+        """Create an empty BLOB; returns its id."""
+        return self.version_manager.create_blob(page_size or self.config.page_size)
+
+    def client(self, name: str = "client") -> "BlobClient":
+        """A client endpoint (one per application thread is conventional,
+        but clients are themselves thread-safe)."""
+        return BlobClient(self, name)
+
+    def prune_blob(self, blob_id: int, keep_from_version: int):
+        """Reclaim the storage of versions older than *keep_from_version*
+        (which stays readable, as does everything newer). Returns a
+        :class:`~repro.blobseer.pruning.PruneReport`."""
+        from .pruning import prune_blob
+
+        return prune_blob(self, blob_id, keep_from_version)
+
+    def fail_provider(self, name: str) -> None:
+        """Fault injection: crash a provider and exclude it from placement."""
+        self.providers[name].fail()
+        self.provider_manager.mark_down(name)
+
+    def recover_provider(self, name: str) -> None:
+        """Bring a crashed provider back."""
+        self.providers[name].recover()
+        self.provider_manager.mark_up(name)
+
+    def close(self) -> None:
+        """Release provider persistence backends."""
+        for provider in self.providers.values():
+            provider.store.close()
+
+
+class BlobClient:
+    """Client endpoint of the threaded BlobSeer service."""
+
+    def __init__(self, service: BlobSeerService, name: str) -> None:
+        self.service = service
+        self.name = name
+        self._pool = ThreadPoolExecutor(
+            max_workers=service.config.client_parallelism,
+            thread_name_prefix=f"blobseer-{name}",
+        )
+
+    # -- blob lifecycle ---------------------------------------------------------
+
+    def create_blob(self, page_size: Optional[int] = None) -> int:
+        """Create an empty BLOB; returns its id."""
+        return self.service.create_blob(page_size)
+
+    # -- write paths ---------------------------------------------------------------
+
+    def append(self, blob_id: int, data: bytes) -> int:
+        """Append *data*; returns the version this update generates.
+
+        The offset is chosen by the version manager (size of the latest
+        assigned version), exactly as in BlobSeer/GFS record append.
+        """
+        version, _offset = self.append_with_offset(blob_id, data)
+        return version
+
+    def append_with_offset(self, blob_id: int, data: bytes) -> Tuple[int, int]:
+        """Append *data*; returns ``(version, offset)`` — the offset the
+        version manager assigned. BSFS uses the offset to maintain the
+        file size at its namespace manager."""
+        if not data:
+            raise ValueError("cannot append zero bytes")
+        vm = self.service.version_manager
+        ticket = vm.assign_append(blob_id, len(data))
+        return self._run_update(ticket, data), ticket.offset
+
+    def write(self, blob_id: int, offset: int, data: bytes) -> int:
+        """Overwrite ``[offset, offset+len(data))``; returns the new version.
+
+        The offset must be page-aligned and must not create a hole
+        (``offset <= current size``). Data outside the written range is
+        inherited from the previous version via subtree sharing and
+        fragment overlay.
+        """
+        if not data:
+            raise ValueError("cannot write zero bytes")
+        vm = self.service.version_manager
+        ticket = vm.assign_write(blob_id, offset, len(data))
+        return self._run_update(ticket, data)
+
+    # -- read path --------------------------------------------------------------------
+
+    def read(
+        self,
+        blob_id: int,
+        offset: int,
+        size: int,
+        version: Optional[int] = None,
+    ) -> bytes:
+        """Read ``[offset, offset+size)`` of a published version
+        (default: the latest)."""
+        if offset < 0 or size < 0:
+            raise ValueError("negative offset/size")
+        vm = self.service.version_manager
+        record = (
+            vm.latest_published(blob_id)
+            if version is None
+            else vm.get_version(blob_id, version)
+        )
+        if size == 0:
+            if offset > record.size:
+                raise OutOfRangeReadError(
+                    f"offset {offset} beyond version size {record.size}"
+                )
+            return b""
+        if offset + size > record.size:
+            raise OutOfRangeReadError(
+                f"read [{offset}, {offset + size}) beyond version size {record.size}"
+            )
+        assert record.root is not None
+        page_size = vm.blob(blob_id).page_size
+        first = offset // page_size
+        last = (offset + size - 1) // page_size
+        leaves = query_pages(self.service.dht, record.root, first, last + 1)
+        missing = [p for p in range(first, last + 1) if p not in leaves]
+        if missing:
+            raise PageNotFoundError(
+                f"blob {blob_id} v{record.version}: no pages at indices {missing}"
+            )
+
+        # every (fragment, in-fragment range) needed, with its output slot
+        jobs: List[Tuple[int, Fragment, int, int]] = []  # (out_pos, frag, lo, n)
+        for p in range(first, last + 1):
+            base = p * page_size
+            lo = max(offset, base) - base
+            hi = min(offset + size, base + page_size) - base
+            cursor = lo
+            for frag in leaves[p]:
+                piece = frag.clip(cursor, hi)
+                if piece is None:
+                    continue
+                if piece.start > cursor:
+                    raise PageNotFoundError(
+                        f"blob {blob_id} v{record.version}: hole in page {p} "
+                        f"at [{cursor}, {piece.start})"
+                    )
+                jobs.append(
+                    (base + piece.start - offset, piece, piece.data_offset, piece.length)
+                )
+                cursor = piece.end
+                if cursor >= hi:
+                    break
+            if cursor < hi:
+                raise PageNotFoundError(
+                    f"blob {blob_id} v{record.version}: page {p} ends at "
+                    f"{cursor}, need {hi}"
+                )
+
+        out = bytearray(size)
+
+        def fetch(job: Tuple[int, Fragment, int, int]) -> None:
+            pos, frag, data_off, n = job
+            out[pos : pos + n] = self._fetch_fragment(frag, data_off, n)
+
+        if len(jobs) == 1:
+            fetch(jobs[0])
+        else:
+            futures = [self._pool.submit(fetch, job) for job in jobs]
+            wait(futures)
+            for f in futures:
+                f.result()
+        return bytes(out)
+
+    def size(self, blob_id: int, version: Optional[int] = None) -> int:
+        """Byte size of a published version (default latest)."""
+        vm = self.service.version_manager
+        record = (
+            vm.latest_published(blob_id)
+            if version is None
+            else vm.get_version(blob_id, version)
+        )
+        return record.size
+
+    def latest_version(self, blob_id: int) -> int:
+        """Number of the latest published version."""
+        return self.service.version_manager.latest_published(blob_id).version
+
+    def get_layout(
+        self, blob_id: int, version: Optional[int] = None
+    ) -> List[Tuple[Extent, Tuple[str, ...]]]:
+        """The data layout of a published version.
+
+        This is the primitive the paper adds to BlobSeer so the
+        Map/Reduce scheduler can be made data-location aware: one
+        ``(extent, providers)`` entry per stored fragment, clipped to
+        the version's size, in offset order.
+        """
+        vm = self.service.version_manager
+        record = (
+            vm.latest_published(blob_id)
+            if version is None
+            else vm.get_version(blob_id, version)
+        )
+        if record.root is None:
+            return []
+        page_size = vm.blob(blob_id).page_size
+        out: List[Tuple[Extent, Tuple[str, ...]]] = []
+        for index, fragments in iter_all_pages(self.service.dht, record.root):
+            base = index * page_size
+            for frag in fragments:
+                visible = min(frag.length, max(0, record.size - base - frag.start))
+                if visible > 0:
+                    out.append((Extent(base + frag.start, visible), frag.providers))
+        return out
+
+    def close(self) -> None:
+        """Shut down the client's I/O thread pool."""
+        self._pool.shutdown(wait=True)
+
+    # -- update machinery ------------------------------------------------------------
+
+    def _run_update(self, ticket: Ticket, data: bytes) -> int:
+        service = self.service
+        vm = service.version_manager
+        ps = ticket.page_size
+        offset, end = ticket.offset, ticket.offset + ticket.nbytes
+        first = offset // ps
+        last = (end - 1) // ps
+        page_indices = list(range(first, last + 1))
+
+        # ship every page's bytes immediately; each page of the update is
+        # one stored object (so reads fetch at page granularity)
+        placements = service.provider_manager.allocate(
+            [min(end, (p + 1) * ps) - max(offset, p * ps) for p in page_indices],
+            replication=service.config.replication,
+        )
+        new_frags: Dict[int, Fragment] = {}
+        futures = []
+
+        def ship(i: int, p: int) -> Tuple[int, Fragment]:
+            lo = max(offset, p * ps)
+            hi = min(end, (p + 1) * ps)
+            page_id = fresh_page_id(ticket.blob_id, self.name)
+            stored_on = self._store_page(page_id, data[lo - offset : hi - offset],
+                                         placements[i])
+            return p, Fragment(
+                start=lo - p * ps,
+                length=hi - lo,
+                page_id=page_id,
+                data_offset=0,
+                providers=stored_on,
+            )
+
+        for i, p in enumerate(page_indices):
+            futures.append(self._pool.submit(ship, i, p))
+        done, _ = wait(futures)
+        for fut in done:
+            p, frag = fut.result()  # surfaces store failures
+            new_frags[p] = frag
+
+        # metadata turn: previous version's tree is now complete
+        prev_root, prev_capacity = vm.wait_metadata_turn(
+            ticket.blob_id, ticket.version
+        )
+
+        # boundary pages inherit the previous version's fragments by
+        # overlay (metadata only — no data is read back)
+        changes: Dict[int, PageFragments] = {}
+        for p, frag in new_frags.items():
+            prev_size_here = max(0, min(ticket.new_size, (p + 1) * ps) - p * ps)
+            whole_page = frag.start == 0 and frag.end >= prev_size_here
+            if whole_page or prev_root is None:
+                changes[p] = (frag,)
+                continue
+            prev_frags = query_pages(service.dht, prev_root, p, p + 1).get(p, ())
+            changes[p] = overlay(prev_frags, frag)
+
+        root = build_version(
+            service.dht,
+            ticket.blob_id,
+            ticket.version,
+            prev_root,
+            prev_capacity,
+            changes,
+            _capacity_pages(ticket.new_size, ps),
+        )
+        vm.commit(ticket.blob_id, ticket.version, root)
+        return ticket.version
+
+    def _store_page(
+        self, page_id: PageId, data: bytes, providers: Sequence[str]
+    ) -> Tuple[str, ...]:
+        """Write one stored object to every replica, re-allocating around
+        failures. Returns the providers that actually hold it."""
+        remaining = list(providers)
+        stored: List[str] = []
+        attempts = 0
+        while remaining:
+            name = remaining.pop(0)
+            provider = self.service.providers[name]
+            try:
+                provider.put_page(page_id, data)
+                stored.append(name)
+            except ProviderUnavailableError:
+                self.service.provider_manager.mark_down(name)
+                attempts += 1
+                if attempts > 3 + len(providers):
+                    break
+                # pick a substitute provider not already used
+                try:
+                    sub = self.service.provider_manager.allocate(
+                        [len(data)], replication=1
+                    )[0][0]
+                except ReplicationError:
+                    break
+                if sub not in remaining and sub != name and sub not in stored:
+                    remaining.append(sub)
+        if not stored:
+            raise ReplicationError(
+                f"page {page_id} could not be stored on any provider"
+            )
+        return tuple(stored)
+
+    def _fetch_fragment(self, frag: Fragment, data_offset: int, size: int) -> bytes:
+        """Read a byte range of one stored object, falling back across
+        replicas."""
+        last_exc: Exception | None = None
+        for name in frag.providers:
+            provider = self.service.providers.get(name)
+            if provider is None:
+                continue
+            try:
+                return provider.get_page(frag.page_id, data_offset, size)
+            except (ProviderUnavailableError, PageNotFoundError) as exc:
+                last_exc = exc
+        raise ReplicationError(
+            f"no replica of page {frag.page_id} is readable"
+        ) from last_exc
+
+
+def _capacity_pages(size: int, page_size: int) -> int:
+    """Tree capacity in pages for a blob of *size* bytes."""
+    if size == 0:
+        return 0
+    return capacity_for(-(-size // page_size))

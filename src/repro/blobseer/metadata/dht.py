@@ -1,0 +1,110 @@
+"""The metadata providers' distributed hash table.
+
+Tree nodes are spread over the metadata providers by a stable hash of
+their key, so concurrent clients writing metadata for different versions
+hit different providers most of the time — the decentralization that
+keeps metadata from becoming the bottleneck the version manager would
+otherwise be.
+
+:class:`MetadataDHT` is the threaded-runtime implementation (per-bucket
+dicts with locks). :class:`RecordingStore` wraps any node store and logs
+``(op, owner)`` pairs; the simulated runtime replays that log as charged
+RPCs against the simulated metadata-provider machines, so the *exact*
+metadata traffic of the real algorithms is what gets costed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...common.errors import VersionNotFoundError
+from .segment_tree import NodeKey, TreeNode
+
+
+def placement_hash(key_bytes: bytes, buckets: int) -> int:
+    """Stable bucket index for a key (SHA-1, like real DHT placement)."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    digest = hashlib.sha1(key_bytes).digest()
+    return int.from_bytes(digest[:8], "big") % buckets
+
+
+class MetadataDHT:
+    """Thread-safe in-process DHT over *n* metadata providers."""
+
+    def __init__(self, n_providers: int) -> None:
+        if n_providers < 1:
+            raise ValueError("need at least one metadata provider")
+        self.n_providers = n_providers
+        self._buckets: List[Dict[NodeKey, TreeNode]] = [
+            {} for _ in range(n_providers)
+        ]
+        self._locks = [threading.Lock() for _ in range(n_providers)]
+        #: lifetime op counters per provider: (gets, puts)
+        self.gets = [0] * n_providers
+        self.puts = [0] * n_providers
+
+    def owner(self, key: NodeKey) -> int:
+        """Which metadata provider is responsible for *key*."""
+        return placement_hash(key.key_bytes(), self.n_providers)
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        """Fetch a node; raises ``VersionNotFoundError`` when absent."""
+        idx = self.owner(key)
+        with self._locks[idx]:
+            self.gets[idx] += 1
+            try:
+                return self._buckets[idx][key]
+            except KeyError:
+                raise VersionNotFoundError(f"no tree node for {key}") from None
+
+    def put_node(self, node: TreeNode) -> None:
+        """Store a node (idempotent: nodes are immutable)."""
+        idx = self.owner(node.key)
+        with self._locks[idx]:
+            self.puts[idx] += 1
+            self._buckets[idx][node.key] = node
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    def load_per_provider(self) -> List[int]:
+        """Number of nodes held by each metadata provider."""
+        return [len(b) for b in self._buckets]
+
+
+@dataclass(slots=True)
+class AccessRecord:
+    """One logged DHT operation."""
+
+    op: str  # "get" | "put"
+    owner: int
+
+
+class RecordingStore:
+    """Node-store wrapper that logs every access with its owning provider.
+
+    The simulated runtime runs the genuine tree algorithms against this
+    wrapper, then charges each logged op as an RPC to the corresponding
+    simulated metadata-provider machine.
+    """
+
+    def __init__(self, inner: MetadataDHT) -> None:
+        self.inner = inner
+        self.log: List[AccessRecord] = []
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        self.log.append(AccessRecord("get", self.inner.owner(key)))
+        return self.inner.get_node(key)
+
+    def put_node(self, node: TreeNode) -> None:
+        self.log.append(AccessRecord("put", self.inner.owner(node.key)))
+        self.inner.put_node(node)
+
+    def take_log(self) -> List[AccessRecord]:
+        """Return and clear the access log."""
+        log, self.log = self.log, []
+        return log

@@ -1,0 +1,236 @@
+"""Versioned distributed segment tree — BlobSeer's metadata organization.
+
+For every published version of a BLOB there is a binary segment tree
+over the BLOB's *page indices*. Each leaf records its page's
+:data:`~repro.blobseer.pages.PageFragments`; inner nodes cover
+power-of-two ranges of pages. All nodes are immutable and live in a
+distributed hash table spread over the metadata providers; a new version
+creates only the leaves it changed plus the O(log n) inner nodes on the
+paths to the root, *sharing* every untouched subtree with previous
+versions by pointing at their node keys. This is what lets BlobSeer
+serve reads of old versions completely undisturbed while appenders
+publish new versions — the versioning-based concurrency control the
+paper's Figures 4 and 5 measure.
+
+The functions here are pure tree algebra against an abstract key/value
+``store``; both the threaded runtime (real dict-backed DHT) and the
+simulated runtime (cost-charging DHT) drive them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+
+from ...common.errors import VersionNotFoundError
+from ..pages import PageFragments
+
+
+@dataclass(frozen=True, slots=True)
+class NodeKey:
+    """Identity of one tree node: which version created it and the page
+    range ``[lo, hi)`` it covers."""
+
+    blob_id: int
+    version: int
+    lo: int
+    hi: int
+
+    def key_bytes(self) -> bytes:
+        """Stable byte form, used for DHT placement."""
+        return f"tree/{self.blob_id}/{self.version}/{self.lo}/{self.hi}".encode()
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def is_leaf_range(self) -> bool:
+        return self.span == 1
+
+
+@dataclass(frozen=True, slots=True)
+class TreeNode:
+    """One immutable tree node.
+
+    A leaf (``key.span == 1``) carries the page's fragment list; an
+    inner node carries the keys of its children (``None`` where the
+    half-range holds no pages at all — possible only at the right
+    fringe of the tree).
+    """
+
+    key: NodeKey
+    fragments: Optional[PageFragments] = None
+    left: Optional[NodeKey] = None
+    right: Optional[NodeKey] = None
+
+    def __post_init__(self) -> None:
+        if self.key.is_leaf_range:
+            if not self.fragments:
+                raise ValueError(f"leaf {self.key} missing fragments")
+            if self.left is not None or self.right is not None:
+                raise ValueError(f"leaf {self.key} must not have children")
+        else:
+            if self.fragments is not None:
+                raise ValueError(f"inner node {self.key} must not carry a page")
+
+
+class NodeStore(Protocol):
+    """What the tree algorithms need from the metadata DHT."""
+
+    def get_node(self, key: NodeKey) -> TreeNode: ...
+
+    def put_node(self, node: TreeNode) -> None: ...
+
+
+def capacity_for(n_pages: int) -> int:
+    """Smallest power of two >= max(n_pages, 1) — the root's span."""
+    cap = 1
+    while cap < n_pages:
+        cap *= 2
+    return cap
+
+
+def build_version(
+    store: NodeStore,
+    blob_id: int,
+    version: int,
+    prev_root: Optional[NodeKey],
+    prev_capacity: int,
+    changes: Mapping[int, PageFragments],
+    new_capacity: int,
+) -> NodeKey:
+    """Create the tree for *version* and return its root key.
+
+    *changes* maps page index → the page's new fragment list; every
+    other page is shared with the previous version's tree. When the BLOB grew past the
+    previous capacity, the old root is grafted in as the leftmost
+    descendant of the (larger) new root.
+
+    The number of nodes written is ``O(|changes| + log(capacity))`` for
+    the contiguous change-sets appends produce.
+    """
+    if not changes:
+        raise ValueError("a version must change at least one page")
+    if new_capacity < prev_capacity:
+        raise ValueError("capacity cannot shrink")
+    if any(i < 0 or i >= new_capacity for i in changes):
+        raise ValueError("change index out of capacity")
+
+    def build(lo: int, hi: int, prev: Optional[NodeKey]) -> Optional[NodeKey]:
+        touched = _range_touched(changes, lo, hi)
+        if not touched:
+            if prev is _UNRESOLVED:
+                # untouched but structurally misaligned with the old tree:
+                # descend to realign (only along the graft path).
+                pass
+            else:
+                return prev
+        if hi - lo == 1:
+            frags = changes.get(lo)
+            if frags is None:  # pragma: no cover - guarded by touched check
+                return prev if prev is not _UNRESOLVED else None
+            leaf = TreeNode(NodeKey(blob_id, version, lo, hi), fragments=frags)
+            store.put_node(leaf)
+            return leaf.key
+
+        mid = (lo + hi) // 2
+        prev_left: Optional[NodeKey]
+        prev_right: Optional[NodeKey]
+        if prev is None:
+            prev_left = prev_right = None
+        elif prev is _UNRESOLVED:
+            # realign against the old tree's geometry
+            if lo == 0 and mid == prev_capacity:
+                prev_left, prev_right = prev_root, None
+            elif lo == 0 and mid > prev_capacity:
+                prev_left, prev_right = _UNRESOLVED, None
+            elif lo == 0 and mid < prev_capacity:
+                # old tree wider than this half: impossible, since the graft
+                # path only ever *enlarges* ranges left-aligned at zero.
+                raise AssertionError("graft path narrower than old tree")
+            else:
+                prev_left = prev_right = None
+        else:
+            node = store.get_node(prev)
+            prev_left, prev_right = node.left, node.right
+
+        new_left = build(lo, mid, prev_left)
+        new_right = build(mid, hi, prev_right)
+        inner = TreeNode(
+            NodeKey(blob_id, version, lo, hi), left=new_left, right=new_right
+        )
+        store.put_node(inner)
+        return inner.key
+
+    if prev_root is not None and new_capacity > prev_capacity:
+        root = build(0, new_capacity, _UNRESOLVED)
+    else:
+        root = build(0, new_capacity, prev_root)
+    assert root is not None
+    return root
+
+
+def query_pages(
+    store: NodeStore, root: NodeKey, lo: int, hi: int
+) -> Dict[int, PageFragments]:
+    """Resolve fragment lists for every page index in ``[lo, hi)``.
+
+    Missing leaves (pages never written) are simply absent from the
+    result; callers decide whether a hole is an error.
+    """
+    if lo < 0 or hi <= lo:
+        raise ValueError(f"bad page range [{lo}, {hi})")
+    out: Dict[int, PageFragments] = {}
+
+    def walk(key: Optional[NodeKey]) -> None:
+        if key is None:
+            return
+        if key.hi <= lo or key.lo >= hi:
+            return
+        node = store.get_node(key)
+        if key.is_leaf_range:
+            assert node.fragments is not None
+            out[key.lo] = node.fragments
+            return
+        walk(node.left)
+        walk(node.right)
+
+    walk(root)
+    return out
+
+
+def iter_all_pages(
+    store: NodeStore, root: NodeKey
+) -> Iterator[Tuple[int, PageFragments]]:
+    """Every (page index, fragment list) reachable from *root*, in order."""
+
+    def walk(key: Optional[NodeKey]) -> Iterator[Tuple[int, PageFragments]]:
+        if key is None:
+            return
+        node = store.get_node(key)
+        if key.is_leaf_range:
+            assert node.fragments is not None
+            yield key.lo, node.fragments
+            return
+        yield from walk(node.left)
+        yield from walk(node.right)
+
+    yield from walk(root)
+
+
+def _range_touched(changes: Mapping[int, PageFragments], lo: int, hi: int) -> bool:
+    """True when any changed page index falls in [lo, hi)."""
+    if len(changes) < (hi - lo):
+        return any(lo <= i < hi for i in changes)
+    return any(i in changes for i in range(lo, hi))
+
+
+class _Unresolved:
+    """Sentinel: 'the old tree overlaps this range but with different
+    geometry' — occurs only on the graft path when capacity grows."""
+
+    __repr__ = lambda self: "<unresolved>"  # noqa: E731 # pragma: no cover
+
+
+_UNRESOLVED = _Unresolved()

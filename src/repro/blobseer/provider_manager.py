@@ -1,0 +1,132 @@
+"""The provider manager — load-balanced page placement.
+
+When a client writes pages it asks the provider manager for a list of
+target providers; "the distribution of pages to providers aims at
+achieving load-balancing". The strategy here is the least-allocated-
+first heuristic: each page (and each of its replicas) goes to the
+provider with the least bytes allocated so far, with deterministic
+seeded tie-breaking. Failed providers are skipped; replicas of one page
+always land on distinct providers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import ReplicationError
+from ..common.rng import substream
+
+
+class ProviderManager:
+    """Tracks provider load and allocates placement for new pages."""
+
+    def __init__(self, provider_names: Sequence[str], seed: int = 0) -> None:
+        if not provider_names:
+            raise ValueError("need at least one provider")
+        if len(set(provider_names)) != len(provider_names):
+            raise ValueError("duplicate provider names")
+        self._lock = threading.Lock()
+        self._load: Dict[str, int] = {name: 0 for name in provider_names}
+        self._down: set[str] = set()
+        self._rng = substream(seed, "provider-manager")
+        # random but deterministic tie-break ranks
+        names = list(provider_names)
+        order = self._rng.permutation(len(names))
+        self._rank: Dict[str, int] = {names[i]: int(order[i]) for i in range(len(names))}
+        self._counter = itertools.count()
+
+    # -- membership ---------------------------------------------------------------
+
+    def mark_down(self, name: str) -> None:
+        """Exclude a provider from future allocations."""
+        with self._lock:
+            if name not in self._load:
+                raise KeyError(name)
+            self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Re-admit a provider."""
+        with self._lock:
+            self._down.discard(name)
+
+    @property
+    def alive_count(self) -> int:
+        with self._lock:
+            return len(self._load) - len(self._down)
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate(
+        self,
+        page_sizes: Sequence[int],
+        replication: int = 1,
+        prefer: Optional[str] = None,
+    ) -> List[Tuple[str, ...]]:
+        """Choose providers for each of a write's pages.
+
+        Returns one tuple of *replication* distinct provider names per
+        page, primary first. *prefer* (e.g. the client's own machine)
+        wins the primary slot for the first page when it is alive and
+        not overloaded relative to the cluster median — a mild locality
+        bias that never defeats load balancing.
+        """
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        with self._lock:
+            alive = [n for n in self._load if n not in self._down]
+            if len(alive) < replication:
+                raise ReplicationError(
+                    f"need {replication} distinct providers, only {len(alive)} alive"
+                )
+            result: List[Tuple[str, ...]] = []
+            for i, size in enumerate(page_sizes):
+                if size <= 0:
+                    raise ValueError("page size must be positive")
+                chosen = self._pick(alive, replication, prefer if i == 0 else None)
+                for name in chosen:
+                    self._load[name] += size
+                result.append(tuple(chosen))
+            return result
+
+    def _pick(
+        self, alive: List[str], replication: int, prefer: Optional[str]
+    ) -> List[str]:
+        ordered = sorted(alive, key=lambda n: (self._load[n], self._rank[n]))
+        chosen: List[str] = []
+        if prefer is not None and prefer in self._load and prefer not in self._down:
+            loads = sorted(self._load[n] for n in alive)
+            median = loads[len(loads) // 2]
+            if self._load[prefer] <= median:
+                chosen.append(prefer)
+        for name in ordered:
+            if len(chosen) >= replication:
+                break
+            if name not in chosen:
+                chosen.append(name)
+        return chosen[:replication]
+
+    # -- introspection --------------------------------------------------------------
+
+    def load_of(self, name: str) -> int:
+        """Bytes allocated to one provider so far."""
+        with self._lock:
+            return self._load[name]
+
+    def load_snapshot(self) -> Dict[str, int]:
+        """Copy of the allocation table."""
+        with self._lock:
+            return dict(self._load)
+
+    def imbalance(self) -> float:
+        """Max/mean load ratio across alive providers (1.0 = perfect)."""
+        with self._lock:
+            loads = [v for n, v in self._load.items() if n not in self._down]
+        mean = float(np.mean(loads)) if loads else 0.0
+        if mean == 0:
+            return 1.0
+        return float(np.max(loads)) / mean

@@ -1,0 +1,381 @@
+"""Simulated BlobSeer runtime — the Grid'5000-scale performance model.
+
+The same protocol and the same metadata algorithms as the threaded
+runtime, but run as processes on a :class:`~repro.sim.cluster.SimCluster`:
+
+* page payloads are *sized but not materialized* — their transport costs
+  flow through the max-min-fair network model and the providers' disks;
+* the version manager's critical section is a one-slot
+  :class:`~repro.sim.resources.Resource` with a configurable service
+  time, so version assignment is the only serialization point, exactly
+  as in the real system;
+* every segment-tree node read/write the *genuine* tree algorithms
+  perform is charged as an RPC against the owning simulated metadata
+  provider (see :class:`~repro.blobseer.metadata.dht.RecordingStore`), so
+  metadata contention is modeled from real traffic, not from a formula;
+* providers acknowledge a page once it is received; persistence to disk
+  happens asynchronously (BlobSeer providers cache pages in memory and
+  persist through the BerkeleyDB layer in the background);
+* unaligned appends are pure fragment overlays: a boundary page costs
+  one extra metadata read, never a data read-modify-write.
+
+Clients are generator-based processes; drive them with
+``cluster.env.process(blobseer.append_proc(...))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..common.config import BlobSeerConfig
+from ..common.errors import OutOfRangeReadError
+from ..sim.cluster import SimCluster
+from ..sim.core import Event
+from ..sim.metrics import Metrics
+from ..sim.resources import Resource
+from .metadata.dht import MetadataDHT, RecordingStore
+from .metadata.segment_tree import (
+    build_version,
+    capacity_for,
+    iter_all_pages,
+    query_pages,
+)
+from .pages import Fragment, PageFragments, fresh_page_id, overlay
+from .provider_manager import ProviderManager
+from .version_manager import Ticket, VersionManagerCore
+
+
+@dataclass(frozen=True, slots=True)
+class BlobSeerRoles:
+    """Which cluster machines play which BlobSeer role.
+
+    The paper's deployment: "one version manager, one provider manager,
+    one node for the namespace manager and 20 metadata providers. The
+    remaining nodes are used as data providers."
+    """
+
+    version_manager: str
+    provider_manager: str
+    metadata_providers: Tuple[str, ...]
+    data_providers: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.metadata_providers:
+            raise ValueError("need at least one metadata provider")
+        if not self.data_providers:
+            raise ValueError("need at least one data provider")
+
+
+class SimBlobSeer:
+    """A BlobSeer deployment on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        roles: BlobSeerRoles,
+        config: Optional[BlobSeerConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.roles = roles
+        self.config = config or BlobSeerConfig()
+        self.config.validate()
+        self.core = VersionManagerCore()
+        self.dht = MetadataDHT(len(roles.metadata_providers))
+        self.provider_manager = ProviderManager(
+            list(roles.data_providers), seed=cluster.config.seed
+        )
+        # one-slot critical section at the version manager
+        self._vm_slot = Resource(self.env, capacity=1)
+        # each metadata provider serves RPCs one at a time
+        self._mdp_slots = [
+            Resource(self.env, capacity=1) for _ in roles.metadata_providers
+        ]
+        self.metrics = Metrics()
+
+    # -- blob lifecycle -------------------------------------------------------
+
+    def create_blob(self, page_size: Optional[int] = None) -> int:
+        """Instant (control-plane) blob creation; returns the blob id."""
+        return self.core.create_blob(page_size or self.config.page_size)
+
+    # -- RPC helpers -----------------------------------------------------------
+
+    def _vm_call(self, client: str, fn) -> Generator[Event, None, object]:
+        """Round trip to the version manager: latency + serialized service.
+
+        *fn* runs inside the critical section and its result is returned.
+        """
+        yield self.env.timeout(self.cluster.config.latency)
+        req = yield self._vm_slot.request()
+        try:
+            yield self.env.timeout(self.cluster.config.version_assign_time)
+            result = fn()
+        finally:
+            self._vm_slot.release(req)
+        yield self.env.timeout(self.cluster.config.latency)
+        return result
+
+    def _mdp_rpc(self, owner: int) -> Generator[Event, None, None]:
+        """One metadata RPC at provider *owner*: latency + queued service."""
+        yield self.env.timeout(self.cluster.config.latency)
+        slot = self._mdp_slots[owner]
+        req = yield slot.request()
+        try:
+            yield self.env.timeout(self.cluster.config.metadata_rpc_time)
+        finally:
+            slot.release(req)
+        yield self.env.timeout(self.cluster.config.latency)
+
+    def _charge_metadata(self, records) -> Generator[Event, None, None]:
+        """Charge a batch of logged DHT accesses, all in parallel."""
+        if not records:
+            return
+        procs = [
+            self.env.process(self._mdp_rpc(rec.owner), name="mdp-rpc")
+            for rec in records
+        ]
+        yield self.env.all_of(procs)
+
+    # -- data-plane helpers --------------------------------------------------------
+
+    def _ship_page(
+        self, client: str, providers: Sequence[str], nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Send one stored object to its replicas (ack on receipt).
+
+        Replicas are written in parallel from the client, like BlobSeer's
+        asynchronous page writes. Persistence happens in the background.
+        """
+        transfers = [
+            self.cluster.network.transfer(client, prov, nbytes)
+            for prov in providers
+        ]
+        yield self.env.all_of(transfers)
+        for prov in providers:
+            # asynchronous persistence; disk contention still accrues
+            self.cluster.node(prov).disk.write(nbytes)
+
+    def _fetch_fragment(
+        self, client: str, frag: Fragment, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Read *nbytes* of one stored object from its primary provider:
+        disk (or page-cache) service then network transfer."""
+        prov = frag.primary
+        yield self.cluster.node(prov).disk.read(nbytes)
+        yield self.cluster.network.transfer(prov, client, nbytes)
+
+    # -- client operations ------------------------------------------------------------
+
+    def append_proc(
+        self, client: str, blob_id: int, nbytes: int, record: bool = True
+    ) -> Generator[Event, None, int]:
+        """Append *nbytes* from machine *client*; returns the new version."""
+        if nbytes <= 0:
+            raise ValueError("append of zero bytes")
+        start = self.env.now
+        ticket: Ticket = yield self.env.process(
+            self._vm_call(client, lambda: self.core.assign_append(blob_id, nbytes)),
+            name="vm-assign",
+        )
+        version = yield self.env.process(
+            self._update_body(client, ticket), name="append-body"
+        )
+        if record:
+            self.metrics.record(client, "append", start, self.env.now, nbytes)
+        return version
+
+    def write_proc(
+        self,
+        client: str,
+        blob_id: int,
+        offset: int,
+        nbytes: int,
+        record: bool = True,
+    ) -> Generator[Event, None, int]:
+        """Overwrite ``[offset, offset+nbytes)``; returns the new version."""
+        start = self.env.now
+        ticket: Ticket = yield self.env.process(
+            self._vm_call(
+                client, lambda: self.core.assign_write(blob_id, offset, nbytes)
+            ),
+            name="vm-assign",
+        )
+        version = yield self.env.process(
+            self._update_body(client, ticket), name="write-body"
+        )
+        if record:
+            self.metrics.record(client, "write", start, self.env.now, nbytes)
+        return version
+
+    def _update_body(
+        self, client: str, ticket: Ticket
+    ) -> Generator[Event, None, int]:
+        ps = ticket.page_size
+        offset, end = ticket.offset, ticket.offset + ticket.nbytes
+        first = offset // ps
+        last = (end - 1) // ps
+        page_indices = list(range(first, last + 1))
+        sizes = [
+            min(end, (p + 1) * ps) - max(offset, p * ps) for p in page_indices
+        ]
+        placements = self.provider_manager.allocate(
+            sizes, replication=self.config.replication
+        )
+
+        # ship every page's bytes in parallel right away
+        new_frags: Dict[int, Fragment] = {}
+        shippers = []
+        for i, p in enumerate(page_indices):
+            lo = max(offset, p * ps)
+            hi = min(end, (p + 1) * ps)
+            new_frags[p] = Fragment(
+                start=lo - p * ps,
+                length=hi - lo,
+                page_id=fresh_page_id(ticket.blob_id, client),
+                data_offset=0,
+                providers=placements[i],
+            )
+            shippers.append(
+                self.env.process(
+                    self._ship_page(client, placements[i], hi - lo),
+                    name="ship-page",
+                )
+            )
+        yield self.env.all_of(shippers)
+
+        # metadata turn
+        turn = self.env.event()
+        self.core.when_turn(
+            ticket.blob_id, ticket.version, lambda: turn.succeed(None)
+        )
+        yield turn
+        prereq = self.core.metadata_prereq(ticket.blob_id, ticket.version)
+        assert prereq is not None
+        prev_root, prev_capacity = prereq
+
+        # boundary pages: inherit the previous fragments by overlay
+        # (metadata reads only — no data movement)
+        changes: Dict[int, PageFragments] = {}
+        boundary_log = []
+        for p, frag in new_frags.items():
+            defined = max(0, min(ticket.new_size, (p + 1) * ps) - p * ps)
+            if (frag.start == 0 and frag.end >= defined) or prev_root is None:
+                changes[p] = (frag,)
+                continue
+            rec_store = RecordingStore(self.dht)
+            prev_frags = query_pages(rec_store, prev_root, p, p + 1).get(p, ())
+            boundary_log.extend(rec_store.take_log())
+            changes[p] = overlay(prev_frags, frag)
+        if boundary_log:
+            yield self.env.process(
+                self._charge_metadata(boundary_log), name="md-boundary"
+            )
+
+        # write the new version's tree nodes (parallel, charged per owner)
+        rec_store = RecordingStore(self.dht)
+        new_capacity = (
+            0 if ticket.new_size == 0 else capacity_for(-(-ticket.new_size // ps))
+        )
+        root = build_version(
+            rec_store,
+            ticket.blob_id,
+            ticket.version,
+            prev_root,
+            prev_capacity,
+            changes,
+            new_capacity,
+        )
+        yield self.env.process(
+            self._charge_metadata(rec_store.take_log()), name="md-build"
+        )
+
+        # commit + in-order publication at the VM
+        yield self.env.process(
+            self._vm_call(
+                client, lambda: self.core.commit(ticket.blob_id, ticket.version, root)
+            ),
+            name="vm-commit",
+        )
+        return ticket.version
+
+    def read_proc(
+        self,
+        client: str,
+        blob_id: int,
+        offset: int,
+        nbytes: int,
+        version: Optional[int] = None,
+        record: bool = True,
+    ) -> Generator[Event, None, int]:
+        """Read ``[offset, offset+nbytes)`` of a published version; returns
+        the version actually read."""
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("bad read range")
+        start = self.env.now
+
+        def resolve():
+            if version is None:
+                return self.core.latest_published(blob_id)
+            return self.core.get_version(blob_id, version)
+
+        rec = yield self.env.process(
+            self._vm_call(client, resolve), name="vm-resolve"
+        )
+        if offset + nbytes > rec.size:
+            raise OutOfRangeReadError(
+                f"read [{offset}, {offset + nbytes}) beyond size {rec.size}"
+            )
+        assert rec.root is not None
+        ps = self.core.blob(blob_id).page_size
+        first = offset // ps
+        last = (offset + nbytes - 1) // ps
+        rec_store = RecordingStore(self.dht)
+        leaves = query_pages(rec_store, rec.root, first, last + 1)
+        yield self.env.process(
+            self._charge_metadata(rec_store.take_log()), name="md-query"
+        )
+        fetchers = []
+        for p in range(first, last + 1):
+            base = p * ps
+            lo = max(offset, base) - base
+            hi = min(offset + nbytes, base + ps) - base
+            for frag in leaves[p]:
+                piece = frag.clip(lo, hi)
+                if piece is None:
+                    continue
+                fetchers.append(
+                    self.env.process(
+                        self._fetch_fragment(client, piece, piece.length),
+                        name="fetch-frag",
+                    )
+                )
+        yield self.env.all_of(fetchers)
+        if record:
+            self.metrics.record(client, "read", start, self.env.now, nbytes)
+        return rec.version
+
+    # -- introspection ------------------------------------------------------------------
+
+    def layout(
+        self, blob_id: int, version: Optional[int] = None
+    ) -> List[Tuple[int, int, Tuple[str, ...]]]:
+        """(offset, length, providers) of each stored fragment of a
+        version — the locality primitive, control-plane only."""
+        rec = (
+            self.core.latest_published(blob_id)
+            if version is None
+            else self.core.get_version(blob_id, version)
+        )
+        if rec.root is None:
+            return []
+        ps = self.core.blob(blob_id).page_size
+        out = []
+        for index, fragments in iter_all_pages(self.dht, rec.root):
+            base = index * ps
+            for frag in fragments:
+                visible = min(frag.length, max(0, rec.size - base - frag.start))
+                if visible > 0:
+                    out.append((base + frag.start, visible, frag.providers))
+        return out

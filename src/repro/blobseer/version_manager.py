@@ -1,0 +1,307 @@
+"""The version manager — BlobSeer's only centralized data-path entity.
+
+The version manager (VM) assigns version numbers, decides the offset an
+append lands at, and publishes versions *in order*. Everything heavy
+(page transport, metadata writes) happens elsewhere and in parallel;
+the VM's critical section is a few dictionary updates, which is why the
+paper's appenders scale: "Multiple clients can append their data in a
+fully parallel manner …; synchronization is required only when writing
+the metadata, but this overhead is low."
+
+The write/append protocol, faithful to BlobSeer:
+
+1. the client stripes its data into pages and ships them to providers
+   (no offset needed — pages are position-independent);
+2. the client asks the VM to *assign* a version: for an append the VM
+   picks ``offset = size of the latest assigned version`` and returns a
+   :class:`Ticket`;
+3. the client writes the new segment-tree nodes to the metadata
+   providers once the previous version's tree is complete (the VM
+   sequences this metadata turn — the only serialization point);
+4. the client *commits*; the VM publishes the version as soon as every
+   earlier version is published, making it the visible "latest".
+
+Readers only ever see published versions, so they are never blocked by
+(or block) writers — old snapshots stay intact.
+
+:class:`VersionManagerCore` is the pure state machine; the threaded and
+simulated runtimes wrap it with their own concurrency-control adapters
+(:class:`ThreadedVersionManager` here; the simulated wrapper lives in
+:mod:`repro.blobseer.simulated`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..common.errors import (
+    BlobNotFoundError,
+    VersionNotFoundError,
+    VersionNotReadyError,
+)
+from .metadata.segment_tree import NodeKey, capacity_for
+
+
+@dataclass(frozen=True, slots=True)
+class Ticket:
+    """The VM's answer to an assignment request: where the update lands."""
+
+    blob_id: int
+    version: int
+    offset: int
+    nbytes: int
+    new_size: int
+    page_size: int
+
+
+@dataclass(slots=True)
+class VersionRecord:
+    """One (possibly not yet published) version of a BLOB."""
+
+    version: int
+    size: int
+    kind: str  # "create" | "write" | "append"
+    root: Optional[NodeKey] = None
+    committed: bool = False
+
+
+@dataclass(slots=True)
+class BlobState:
+    """Everything the VM tracks for one BLOB."""
+
+    blob_id: int
+    page_size: int
+    #: every assigned version, 0 = the empty creation version
+    versions: Dict[int, VersionRecord] = field(default_factory=dict)
+    next_version: int = 1
+    #: size after the most recently *assigned* (not published) version —
+    #: the offset the next append will receive
+    assigned_size: int = 0
+    #: highest version published so far (visible to readers)
+    published: int = 0
+
+
+def _pages_capacity(size: int, page_size: int) -> int:
+    """Tree capacity (in pages, power of two) for a blob of *size* bytes."""
+    if size == 0:
+        return 0
+    n_pages = -(-size // page_size)
+    return capacity_for(n_pages)
+
+
+class VersionManagerCore:
+    """Pure, lock-free VM state machine (callers provide mutual exclusion)."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[int, BlobState] = {}
+        self._ids = itertools.count(1)
+        #: callbacks waiting for a version's metadata turn / publication
+        self._turn_waiters: Dict[tuple[int, int], List[Callable[[], None]]] = {}
+
+    # -- blob lifecycle ------------------------------------------------------
+
+    def create_blob(self, page_size: int) -> int:
+        """Register a new BLOB; version 0 is the published empty version."""
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        blob_id = next(self._ids)
+        state = BlobState(blob_id=blob_id, page_size=page_size)
+        state.versions[0] = VersionRecord(
+            version=0, size=0, kind="create", root=None, committed=True
+        )
+        self._blobs[blob_id] = state
+        return blob_id
+
+    def blob(self, blob_id: int) -> BlobState:
+        try:
+            return self._blobs[blob_id]
+        except KeyError:
+            raise BlobNotFoundError(f"no blob {blob_id}") from None
+
+    def blob_ids(self) -> List[int]:
+        """Ids of all registered blobs."""
+        return list(self._blobs)
+
+    # -- assignment (the critical section) ------------------------------------
+
+    def assign_append(self, blob_id: int, nbytes: int) -> Ticket:
+        """Assign a version for an append of *nbytes* bytes.
+
+        The offset is implicitly the size of the latest assigned version —
+        BlobSeer's definition of append as "a special case of the write
+        operation, in which the offset is implicitly assumed to be the
+        size of the latest version".
+        """
+        if nbytes <= 0:
+            raise ValueError("append of zero bytes")
+        state = self.blob(blob_id)
+        offset = state.assigned_size
+        return self._assign(state, offset, nbytes, kind="append")
+
+    def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
+        """Assign a version for a write at an explicit *offset*."""
+        if nbytes <= 0:
+            raise ValueError("write of zero bytes")
+        if offset < 0:
+            raise ValueError("negative offset")
+        state = self.blob(blob_id)
+        if offset % state.page_size != 0:
+            raise ValueError(
+                f"write offset {offset} not aligned to page size {state.page_size}"
+            )
+        if offset > state.assigned_size:
+            raise ValueError(
+                f"write at {offset} would leave a hole "
+                f"(blob size is {state.assigned_size})"
+            )
+        return self._assign(state, offset, nbytes, kind="write")
+
+    def _assign(self, state: BlobState, offset: int, nbytes: int, kind: str) -> Ticket:
+        version = state.next_version
+        state.next_version += 1
+        new_size = max(state.assigned_size, offset + nbytes)
+        state.assigned_size = new_size
+        state.versions[version] = VersionRecord(
+            version=version, size=new_size, kind=kind
+        )
+        return Ticket(
+            blob_id=state.blob_id,
+            version=version,
+            offset=offset,
+            nbytes=nbytes,
+            new_size=new_size,
+            page_size=state.page_size,
+        )
+
+    # -- metadata sequencing ---------------------------------------------------
+
+    def metadata_prereq(
+        self, blob_id: int, version: int
+    ) -> Optional[tuple[Optional[NodeKey], int]]:
+        """Previous version's ``(root, capacity_pages)`` once available.
+
+        Returns ``None`` while version ``version - 1`` has not committed
+        its metadata yet; the caller must wait for its turn (see
+        :meth:`when_turn`).
+        """
+        state = self.blob(blob_id)
+        if version not in state.versions:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        prev = state.versions.get(version - 1)
+        if prev is None or not prev.committed:
+            return None
+        return prev.root, _pages_capacity(prev.size, state.page_size)
+
+    def when_turn(
+        self, blob_id: int, version: int, callback: Callable[[], None]
+    ) -> None:
+        """Invoke *callback* once ``version - 1`` has committed.
+
+        Fires immediately (synchronously) when already committed.
+        """
+        if self.metadata_prereq(blob_id, version) is not None:
+            callback()
+            return
+        self._turn_waiters.setdefault((blob_id, version), []).append(callback)
+
+    def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
+        """Record the version's metadata root and publish what's publishable."""
+        state = self.blob(blob_id)
+        record = state.versions.get(version)
+        if record is None:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if record.committed:
+            raise ValueError(f"version {version} committed twice")
+        record.root = root
+        record.committed = True
+        # advance the published frontier over consecutive committed versions
+        while (nxt := state.versions.get(state.published + 1)) and nxt.committed:
+            state.published += 1
+        # wake the next writer's metadata turn
+        waiters = self._turn_waiters.pop((blob_id, version + 1), [])
+        for cb in waiters:
+            cb()
+
+    # -- read side ---------------------------------------------------------------
+
+    def latest_published(self, blob_id: int) -> VersionRecord:
+        """The newest version readers may see."""
+        state = self.blob(blob_id)
+        return state.versions[state.published]
+
+    def get_version(self, blob_id: int, version: int) -> VersionRecord:
+        """A specific *published* version (old snapshots stay readable)."""
+        state = self.blob(blob_id)
+        record = state.versions.get(version)
+        if record is None:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if version > state.published:
+            raise VersionNotReadyError(
+                f"blob {blob_id} version {version} not yet published "
+                f"(frontier is {state.published})"
+            )
+        return record
+
+    def capacity_pages_of(self, blob_id: int, size: int) -> int:
+        """Tree capacity for this blob at a given byte size."""
+        return _pages_capacity(size, self.blob(blob_id).page_size)
+
+
+class ThreadedVersionManager:
+    """Mutex-wrapped VM for the threaded (real-bytes) runtime."""
+
+    def __init__(self) -> None:
+        self.core = VersionManagerCore()
+        self._lock = threading.Lock()
+        self._turn = threading.Condition(self._lock)
+
+    def create_blob(self, page_size: int) -> int:
+        with self._lock:
+            return self.core.create_blob(page_size)
+
+    def assign_append(self, blob_id: int, nbytes: int) -> Ticket:
+        with self._lock:
+            return self.core.assign_append(blob_id, nbytes)
+
+    def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
+        with self._lock:
+            return self.core.assign_write(blob_id, offset, nbytes)
+
+    def wait_metadata_turn(
+        self, blob_id: int, version: int, timeout: float = 60.0
+    ) -> tuple[Optional[NodeKey], int]:
+        """Block until it is *version*'s turn to write metadata."""
+        with self._turn:
+            deadline_info = self.core.metadata_prereq(blob_id, version)
+            while deadline_info is None:
+                if not self._turn.wait(timeout=timeout):
+                    raise VersionNotReadyError(
+                        f"timed out waiting for metadata turn of "
+                        f"blob {blob_id} v{version}"
+                    )
+                deadline_info = self.core.metadata_prereq(blob_id, version)
+            return deadline_info
+
+    def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
+        with self._turn:
+            self.core.commit(blob_id, version, root)
+            self._turn.notify_all()
+
+    def latest_published(self, blob_id: int) -> VersionRecord:
+        with self._lock:
+            return self.core.latest_published(blob_id)
+
+    def get_version(self, blob_id: int, version: int) -> VersionRecord:
+        with self._lock:
+            return self.core.get_version(blob_id, version)
+
+    def blob(self, blob_id: int) -> BlobState:
+        with self._lock:
+            return self.core.blob(blob_id)
+
+    def blob_ids(self) -> List[int]:
+        with self._lock:
+            return self.core.blob_ids()

@@ -1,0 +1,20 @@
+"""BSFS — the BlobSeer File System layer the paper builds on top of the
+BlobSeer service: a centralized namespace manager mapping files to
+BLOBs, a client block cache (whole-block prefetch + write-behind), and
+the layout primitive that makes the Map/Reduce scheduler location-aware.
+Append works, concurrently, on shared files."""
+
+from .namespace import BSFSFile, NamespaceManager
+from .cache import ReadBlockCache, WriteBehindBuffer
+from .client import BSFS, BSFSFileSystem, BSFSInputStream, BSFSOutputStream
+
+__all__ = [
+    "BSFSFile",
+    "NamespaceManager",
+    "ReadBlockCache",
+    "WriteBehindBuffer",
+    "BSFS",
+    "BSFSFileSystem",
+    "BSFSInputStream",
+    "BSFSOutputStream",
+]

@@ -1,0 +1,335 @@
+"""BSFS — the BlobSeer File System layer, as integrated into Hadoop.
+
+:class:`BSFS` bundles a BlobSeer service with a namespace manager;
+:class:`BSFSFileSystem` exposes the Hadoop ``FileSystem`` interface over
+it. Unlike the HDFS baseline, :meth:`BSFSFileSystem.append` *works*:
+any number of clients may hold append streams on the same file
+concurrently, and the BlobSeer versioning protocol serializes their
+blocks into the shared file without the writers ever blocking each
+other or the readers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+from ..blobseer.client import BlobClient, BlobSeerService
+from ..common.config import BlobSeerConfig
+from ..common.errors import (
+    FileClosedError,
+    IsADirectoryError_,
+)
+from ..common.fs import (
+    BlockLocation,
+    FileStatus,
+    FileSystem,
+    InputStream,
+    OutputStream,
+    normalize_path,
+)
+from .cache import ReadBlockCache, WriteBehindBuffer
+from .namespace import BSFSFile, NamespaceManager
+
+
+class BSFS:
+    """One BSFS deployment: BlobSeer service + centralized namespace manager."""
+
+    def __init__(
+        self,
+        service: Optional[BlobSeerService] = None,
+        config: Optional[BlobSeerConfig] = None,
+        n_providers: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.service = service or BlobSeerService(
+            config=config, n_providers=n_providers, seed=seed
+        )
+        self.namespace = NamespaceManager()
+
+    def file_system(self, client_name: str = "client") -> "BSFSFileSystem":
+        """A client endpoint bound to this deployment."""
+        return BSFSFileSystem(self, client_name)
+
+    @property
+    def config(self) -> BlobSeerConfig:
+        return self.service.config
+
+
+class BSFSFileSystem(FileSystem):
+    """Hadoop ``FileSystem`` facade over BSFS — with working append."""
+
+    scheme = "bsfs"
+
+    def __init__(self, deployment: BSFS, client_name: str) -> None:
+        self.deployment = deployment
+        self.client_name = client_name
+        self.blob_client: BlobClient = deployment.service.client(client_name)
+
+    # -- data paths ------------------------------------------------------------
+
+    def create(self, path: str, overwrite: bool = False) -> "BSFSOutputStream":
+        path = normalize_path(path)
+        page_size = self.deployment.config.page_size
+        blob_id = self.deployment.service.create_blob(page_size)
+        record = self.deployment.namespace.create(
+            path, blob_id, page_size, overwrite=overwrite
+        )
+        return BSFSOutputStream(self, path, record)
+
+    def append(self, path: str) -> "BSFSOutputStream":
+        """Open an existing file for appending — the operation this paper
+        adds to the Hadoop stack. Multiple concurrent append streams on
+        one path are explicitly supported."""
+        path = normalize_path(path)
+        record = self.deployment.namespace.get(path)
+        return BSFSOutputStream(self, path, record)
+
+    def open(self, path: str) -> "BSFSInputStream":
+        path = normalize_path(path)
+        record = self.deployment.namespace.get(path)
+        return BSFSInputStream(self, path, record)
+
+    # -- namespace ----------------------------------------------------------------
+
+    def mkdirs(self, path: str) -> None:
+        self.deployment.namespace.mkdirs(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        return self.deployment.namespace.delete(path, recursive=recursive) is not None
+
+    def rename(self, src: str, dst: str) -> None:
+        self.deployment.namespace.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self.deployment.namespace.exists(path)
+
+    def get_status(self, path: str) -> FileStatus:
+        return self.deployment.namespace.get_status(path)
+
+    def list_dir(self, path: str) -> List[FileStatus]:
+        return self.deployment.namespace.list_dir(path)
+
+    def get_block_locations(
+        self, path: str, offset: int, length: int
+    ) -> List[BlockLocation]:
+        """Page-level layout from BlobSeer's new layout primitive, clipped
+        to the file's namespace size — this is what the modified
+        framework hands the jobtracker for locality-aware scheduling."""
+        record = self.deployment.namespace.get(path)
+        size = self.deployment.namespace.get_status(path).size
+        out: List[BlockLocation] = []
+        for extent, providers in self.blob_client.get_layout(record.blob_id):
+            visible = min(extent.size, max(0, size - extent.offset))
+            if visible <= 0:
+                continue
+            if extent.offset + visible > offset and extent.offset < offset + length:
+                out.append(
+                    BlockLocation(
+                        offset=extent.offset, length=visible, hosts=providers
+                    )
+                )
+        return out
+
+
+class BSFSOutputStream(OutputStream):
+    """Write/append stream with write-behind block buffering.
+
+    Created by both :meth:`BSFSFileSystem.create` (fresh BLOB) and
+    :meth:`BSFSFileSystem.append` (shared BLOB): in both cases every
+    emitted block is one BLOB append, and the namespace size is bumped
+    to the append's end offset afterwards.
+    """
+
+    def __init__(
+        self, fs: BSFSFileSystem, path: str, record: BSFSFile
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.record = record
+        self._closed = False
+        self._written = 0
+        self._lock = threading.Lock()
+        cfg = fs.deployment.config
+        self._buffer: Optional[WriteBehindBuffer] = (
+            WriteBehindBuffer(cfg.page_size) if cfg.cache_enabled else None
+        )
+        #: number of BLOB appends issued (tests the write-behind batching)
+        self.appends_issued = 0
+
+    def write(self, data: bytes) -> int:
+        with self._lock:
+            self._check_open()
+            if not data:
+                return 0
+            self._written += len(data)
+            if self._buffer is None:
+                self._commit(data)
+            else:
+                for block in self._buffer.add(data):
+                    self._commit(block)
+            return len(data)
+
+    def flush(self) -> None:
+        """Commit any buffered partial block as an append right now.
+
+        Unlike HDFS (where mid-chunk flush is impossible), BSFS can make
+        buffered data durable and visible on demand — this is what lets
+        an HBase-style application sync its transaction log.
+        """
+        with self._lock:
+            self._check_open()
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._buffer is not None:
+            block = self._buffer.drain()
+            if block:
+                self._commit(block)
+
+    def _commit(self, block: bytes) -> None:
+        _version, offset = self.fs.blob_client.append_with_offset(
+            self.record.blob_id, block
+        )
+        self.fs.deployment.namespace.update_size(self.path, offset + len(block))
+        self.appends_issued += 1
+
+    def tell(self) -> int:
+        with self._lock:
+            return self._written
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            self._closed = True
+
+    def discard(self) -> None:
+        """Drop buffered data and close without appending it — blocks
+        already committed stay in the file (append atomicity is per
+        block)."""
+        with self._lock:
+            if self._buffer is not None:
+                self._buffer.drain()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FileClosedError(self.path)
+
+
+class BSFSInputStream(InputStream):
+    """Read stream with whole-block prefetching.
+
+    The stream tracks the file's namespace size lazily: a read past the
+    last known size re-consults the namespace manager, so a reader can
+    follow a file that concurrent appenders are still growing — the
+    pipelined Map/Reduce pattern of the paper's Section 5.
+    """
+
+    def __init__(self, fs: BSFSFileSystem, path: str, record: BSFSFile) -> None:
+        self.fs = fs
+        self.path = path
+        self.record = record
+        self._pos = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        cfg = fs.deployment.config
+        self._cache: Optional[ReadBlockCache] = (
+            ReadBlockCache(record.page_size, cfg.cache_blocks)
+            if cfg.cache_enabled
+            else None
+        )
+        self._known_size = fs.deployment.namespace.get_status(path).size
+        #: lifetime counter of BLOB reads issued (prefetch effectiveness)
+        self.fetches = 0
+
+    # -- positioning ---------------------------------------------------------------
+
+    def seek(self, offset: int) -> None:
+        with self._lock:
+            self._check_open()
+            if offset < 0:
+                raise ValueError(f"negative seek {offset}")
+            self._pos = offset
+
+    def tell(self) -> int:
+        with self._lock:
+            return self._pos
+
+    def refresh_size(self) -> int:
+        """Re-read the file size from the namespace manager."""
+        self._known_size = self.fs.deployment.namespace.get_status(self.path).size
+        return self._known_size
+
+    @property
+    def size(self) -> int:
+        """Last known file size (may lag behind concurrent appenders)."""
+        return self._known_size
+
+    # -- reads -----------------------------------------------------------------------
+
+    def read(self, n: int) -> bytes:
+        with self._lock:
+            self._check_open()
+            data = self._pread_locked(self._pos, n)
+            self._pos += len(data)
+            return data
+
+    def pread(self, offset: int, n: int) -> bytes:
+        with self._lock:
+            self._check_open()
+            return self._pread_locked(offset, n)
+
+    def _pread_locked(self, offset: int, n: int) -> bytes:
+        if n < 0:
+            raise ValueError("negative read size")
+        if n == 0:
+            return b""
+        if offset + n > self._known_size:
+            self.refresh_size()
+        if offset >= self._known_size:
+            return b""
+        n = min(n, self._known_size - offset)
+        ps = self.record.page_size
+        pieces: List[bytes] = []
+        pos = offset
+        remaining = n
+        while remaining > 0:
+            index = pos // ps
+            in_block = pos - index * ps
+            take = min(remaining, ps - in_block)
+            pieces.append(self._read_block_range(index, in_block, take))
+            pos += take
+            remaining -= take
+        return b"".join(pieces)
+
+    def _read_block_range(self, index: int, offset: int, size: int) -> bytes:
+        ps = self.record.page_size
+        base = index * ps
+
+        def fetch(idx: int) -> bytes:
+            length = min(ps, self._known_size - base)
+            self.fetches += 1
+            return self.fs.blob_client.read(self.record.blob_id, base, length)
+
+        if self._cache is None:
+            self.fetches += 1
+            return self.fs.blob_client.read(self.record.blob_id, base + offset, size)
+        block = self._cache.get(index, fetch)
+        if len(block) < offset + size:
+            # a previously partial tail block has grown since it was cached
+            self._cache.invalidate(index)
+            block = self._cache.get(index, fetch)
+        return block[offset : offset + size]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._cache is not None:
+                self._cache.invalidate()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FileClosedError(self.path)

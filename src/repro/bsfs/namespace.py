@@ -1,0 +1,139 @@
+"""The BSFS namespace manager.
+
+"This layer consists in a centralized namespace manager, which is
+responsible for maintaining a file system namespace, and for mapping
+files to BLOBs." Each file maps to exactly one BLOB; the manager also
+tracks the file's byte size, which an appender bumps *after* its BLOB
+append completes ("appending the data to the corresponding BLOB, and
+updating the size of the file at the level of the namespace manager").
+
+Because concurrent appenders complete out of order, size updates are
+monotonic maxima over each append's end offset — a reader therefore
+never sees a size that published BLOB versions cannot serve.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..common.errors import FileNotFoundInNamespaceError
+from ..common.fs import FileStatus, normalize_path
+from ..common.namespace import Entry, NamespaceTree
+
+
+@dataclass(slots=True)
+class BSFSFile:
+    """Per-file payload: the BLOB behind the file plus the file size."""
+
+    blob_id: int
+    page_size: int
+    size: int = 0
+    creation_time: float = field(default_factory=time.time)
+
+
+class NamespaceManager:
+    """Centralized file→BLOB mapping and size bookkeeping."""
+
+    def __init__(self) -> None:
+        self.tree = NamespaceTree()
+        self._lock = threading.Lock()
+
+    # -- file lifecycle -----------------------------------------------------------
+
+    def create(
+        self, path: str, blob_id: int, page_size: int, overwrite: bool = False
+    ) -> BSFSFile:
+        """Register *path* as a view of *blob_id* (size starts at 0)."""
+        payload = BSFSFile(blob_id=blob_id, page_size=page_size)
+        with self._lock:
+            self.tree.create_file(path, payload, overwrite=overwrite)
+        return payload
+
+    def get(self, path: str) -> BSFSFile:
+        """File record at *path* (raises if missing or a directory)."""
+        with self._lock:
+            return self.tree.lookup_file(path).payload
+
+    def update_size(self, path: str, end_offset: int) -> int:
+        """Grow the file size to at least *end_offset*; returns the new size.
+
+        Monotonic max so concurrent appenders may report completion in
+        any order.
+        """
+        with self._lock:
+            payload: BSFSFile = self.tree.lookup_file(path).payload
+            if end_offset > payload.size:
+                payload.size = end_offset
+            return payload.size
+
+    # -- namespace operations --------------------------------------------------------
+
+    def mkdirs(self, path: str) -> None:
+        with self._lock:
+            self.tree.mkdirs(path)
+
+    def delete(self, path: str, recursive: bool = False) -> Optional[List[BSFSFile]]:
+        """Delete; returns removed file payloads (their BLOBs become garbage)."""
+        with self._lock:
+            return self.tree.delete(path, recursive=recursive)
+
+    def rename(self, src: str, dst: str) -> None:
+        with self._lock:
+            self.tree.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return self.tree.exists(path)
+
+    def get_status(self, path: str) -> FileStatus:
+        with self._lock:
+            entry = self.tree.lookup(path)
+            if entry.is_directory:
+                return FileStatus(
+                    path=normalize_path(path),
+                    is_directory=True,
+                    size=0,
+                    modification_time=entry.modification_time,
+                )
+            payload: BSFSFile = entry.payload
+            return FileStatus(
+                path=normalize_path(path),
+                is_directory=False,
+                size=payload.size,
+                block_size=payload.page_size,
+                modification_time=entry.modification_time,
+            )
+
+    def list_dir(self, path: str) -> List[FileStatus]:
+        with self._lock:
+            out: List[FileStatus] = []
+            for child_path, entry in self.tree.list_dir(path):
+                if entry.is_directory:
+                    out.append(
+                        FileStatus(
+                            path=child_path,
+                            is_directory=True,
+                            size=0,
+                            modification_time=entry.modification_time,
+                        )
+                    )
+                else:
+                    payload = entry.payload
+                    out.append(
+                        FileStatus(
+                            path=child_path,
+                            is_directory=False,
+                            size=payload.size,
+                            block_size=payload.page_size,
+                            modification_time=entry.modification_time,
+                        )
+                    )
+            return out
+
+    def file_count(self) -> int:
+        """Number of files in the namespace (the file-count problem metric)."""
+        _dirs, files = self.tree.count_entries()
+        return files

@@ -1,0 +1,170 @@
+"""Simulated BSFS — file-level operations on the DES cluster.
+
+Wraps :class:`~repro.blobseer.simulated.SimBlobSeer` with the
+centralized namespace manager (a one-slot service with a configurable
+RPC time, like the version manager) so that microbenchmarks exercise
+exactly the paper's two-step append: BLOB append, then a file-size
+update at the namespace manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from ..blobseer.metadata.segment_tree import build_version, capacity_for
+from ..blobseer.pages import Fragment, fresh_page_id
+from ..blobseer.simulated import BlobSeerRoles, SimBlobSeer
+from ..common.config import BlobSeerConfig
+from ..common.errors import FileNotFoundInNamespaceError
+from ..sim.cluster import SimCluster
+from ..sim.core import Event
+from ..sim.metrics import Metrics
+from ..sim.resources import Resource
+from .namespace import NamespaceManager
+
+
+@dataclass(frozen=True, slots=True)
+class BSFSRoles:
+    """BlobSeer roles plus the dedicated namespace-manager machine."""
+
+    blobseer: BlobSeerRoles
+    namespace_manager: str
+
+
+class SimBSFS:
+    """A BSFS deployment on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        roles: BSFSRoles,
+        config: Optional[BlobSeerConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.roles = roles
+        self.blobseer = SimBlobSeer(cluster, roles.blobseer, config)
+        self.config = self.blobseer.config
+        self.namespace = NamespaceManager()
+        self._ns_slot = Resource(self.env, capacity=1)
+        self.metrics = Metrics()
+
+    # -- namespace RPC ---------------------------------------------------------
+
+    def _ns_call(self, fn) -> Generator[Event, None, object]:
+        """Round trip to the namespace manager (serialized service)."""
+        yield self.env.timeout(self.cluster.config.latency)
+        req = yield self._ns_slot.request()
+        try:
+            yield self.env.timeout(self.cluster.config.namespace_rpc_time)
+            result = fn()
+        finally:
+            self._ns_slot.release(req)
+        yield self.env.timeout(self.cluster.config.latency)
+        return result
+
+    # -- file operations -----------------------------------------------------------
+
+    def create_proc(self, client: str, path: str) -> Generator[Event, None, int]:
+        """Create an empty file backed by a fresh BLOB; returns blob id."""
+        blob_id = self.blobseer.create_blob()
+        yield self.env.process(
+            self._ns_call(
+                lambda: self.namespace.create(path, blob_id, self.config.page_size)
+            ),
+            name="ns-create",
+        )
+        return blob_id
+
+    def append_proc(
+        self, client: str, path: str, nbytes: int
+    ) -> Generator[Event, None, int]:
+        """The paper's two-step append: BLOB append + namespace size update.
+
+        Returns the BLOB version generated.
+        """
+        start = self.env.now
+        record = yield self.env.process(
+            self._ns_call(lambda: self.namespace.get(path)), name="ns-lookup"
+        )
+        version = yield self.env.process(
+            self.blobseer.append_proc(client, record.blob_id, nbytes, record=False),
+            name="blob-append",
+        )
+        # the appender learns its end offset from the version it created
+        size = self.blobseer.core.get_version(record.blob_id, version).size
+        yield self.env.process(
+            self._ns_call(lambda: self.namespace.update_size(path, size)),
+            name="ns-size",
+        )
+        self.metrics.record(client, "append", start, self.env.now, nbytes)
+        return version
+
+    def read_proc(
+        self, client: str, path: str, offset: int, nbytes: int
+    ) -> Generator[Event, None, int]:
+        """Read a file range; returns the BLOB version served."""
+        start = self.env.now
+        record = yield self.env.process(
+            self._ns_call(lambda: self.namespace.get(path)), name="ns-lookup"
+        )
+        version = yield self.env.process(
+            self.blobseer.read_proc(
+                client, record.blob_id, offset, nbytes, record=False
+            ),
+            name="blob-read",
+        )
+        self.metrics.record(client, "read", start, self.env.now, nbytes)
+        return version
+
+    # -- experiment plumbing -----------------------------------------------------------
+
+    def preload(self, path: str, nbytes: int) -> None:
+        """Instantly materialize a file of *nbytes* (control plane only).
+
+        Used to set up the read side of the microbenchmarks without
+        simulating the (irrelevant) load phase: pages are placed by the
+        provider manager and a version-1 segment tree is built, but no
+        simulated time passes.
+        """
+        core = self.blobseer.core
+        ps = self.config.page_size
+        if not self.namespace.exists(path):
+            blob_id = core.create_blob(ps)
+            self.namespace.create(path, blob_id, ps)
+        record = self.namespace.get(path)
+        ticket = core.assign_append(record.blob_id, nbytes)
+        if ticket.offset != 0:
+            raise ValueError("preload only supports empty files")
+        n_pages = -(-nbytes // ps)
+        fills = [min(ps, nbytes - p * ps) for p in range(n_pages)]
+        placements = self.blobseer.provider_manager.allocate(
+            fills, replication=self.config.replication
+        )
+        changes = {
+            p: (
+                Fragment(
+                    start=0,
+                    length=fills[p],
+                    page_id=fresh_page_id(record.blob_id, "preload"),
+                    data_offset=0,
+                    providers=placements[p],
+                ),
+            )
+            for p in range(n_pages)
+        }
+        prereq = core.metadata_prereq(record.blob_id, ticket.version)
+        assert prereq is not None, "preload requires a quiescent blob"
+        prev_root, prev_capacity = prereq
+        root = build_version(
+            self.blobseer.dht,
+            record.blob_id,
+            ticket.version,
+            prev_root,
+            prev_capacity,
+            changes,
+            capacity_for(n_pages),
+        )
+        core.commit(record.blob_id, ticket.version, root)
+        self.namespace.update_size(path, ticket.new_size)

@@ -1,0 +1,37 @@
+"""Shared substrate: units, errors, extent algebra, RNG streams, the
+abstract file-system interface, CRC framing, and configuration."""
+
+from .units import KiB, MiB, GiB, TiB, CHUNK_SIZE, RECORD_SIZE, format_bytes, parse_bytes
+from .errors import ReproError
+from .intervals import Extent
+from .fs import FileSystem, FileStatus, BlockLocation, InputStream, OutputStream
+from .config import (
+    BlobSeerConfig,
+    HDFSConfig,
+    MapReduceConfig,
+    ClusterConfig,
+    ExperimentConfig,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "CHUNK_SIZE",
+    "RECORD_SIZE",
+    "format_bytes",
+    "parse_bytes",
+    "ReproError",
+    "Extent",
+    "FileSystem",
+    "FileStatus",
+    "BlockLocation",
+    "InputStream",
+    "OutputStream",
+    "BlobSeerConfig",
+    "HDFSConfig",
+    "MapReduceConfig",
+    "ClusterConfig",
+    "ExperimentConfig",
+]

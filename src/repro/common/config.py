@@ -1,0 +1,163 @@
+"""Configuration dataclasses for the storage systems and the testbed.
+
+Defaults reproduce the paper's deployment on the Grid'5000 Orsay cluster:
+270 nodes total; for BSFS one version manager, one provider manager, one
+namespace manager, and 20 metadata providers, with the remaining nodes
+acting as data providers; for HDFS a dedicated namenode with datanodes on
+the remaining nodes; 64 MB pages/chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .units import CHUNK_SIZE, MiB
+
+
+@dataclass(slots=True)
+class BlobSeerConfig:
+    """Tunables of the BlobSeer service and its BSFS layer."""
+
+    #: BlobSeer page size; set to the HDFS chunk size for a fair comparison.
+    page_size: int = CHUNK_SIZE
+    #: page-level replication degree (BlobSeer's fault-tolerance knob)
+    replication: int = 1
+    #: number of metadata providers forming the DHT
+    metadata_providers: int = 20
+    #: BSFS client cache: number of whole blocks kept per stream
+    cache_blocks: int = 2
+    #: enable the BSFS client cache (prefetch + write-behind)
+    cache_enabled: bool = True
+    #: degree of parallelism when a client stripes one operation's pages
+    client_parallelism: int = 16
+
+    def validate(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.metadata_providers < 1:
+            raise ValueError("need at least one metadata provider")
+        if self.cache_blocks < 1:
+            raise ValueError("cache_blocks must be >= 1")
+        if self.client_parallelism < 1:
+            raise ValueError("client_parallelism must be >= 1")
+
+
+@dataclass(slots=True)
+class HDFSConfig:
+    """Tunables of the HDFS reimplementation."""
+
+    #: chunk ("block") size
+    chunk_size: int = CHUNK_SIZE
+    #: block replication degree
+    replication: int = 1
+    #: client-side write buffer: writes are held until a chunk fills
+    write_buffer: int = CHUNK_SIZE
+    #: readahead: a small read prefetches the whole containing chunk
+    readahead: bool = True
+
+    def validate(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.write_buffer <= 0:
+            raise ValueError("write_buffer must be positive")
+
+
+@dataclass(slots=True)
+class MapReduceConfig:
+    """Tunables of the Map/Reduce framework."""
+
+    #: map slots per tasktracker
+    map_slots: int = 2
+    #: reduce slots per tasktracker
+    reduce_slots: int = 2
+    #: retries before a task is declared failed
+    max_task_attempts: int = 4
+    #: sort buffer for the map-side sort, bytes
+    sort_buffer: int = 64 * MiB
+    #: use the storage layer's block locations for task placement
+    locality_aware: bool = True
+    #: modified-framework mode: reducers append to one shared output file
+    shared_output_file: bool = False
+
+    def validate(self) -> None:
+        if self.map_slots < 1 or self.reduce_slots < 1:
+            raise ValueError("slot counts must be >= 1")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Shape and capacities of the simulated Grid'5000 Orsay deployment."""
+
+    #: total number of machines in the reservation
+    nodes: int = 270
+    #: NIC capacity per node, bytes/s. The paper's per-client figures
+    #: (reads up to ~350-400 MB/s) exceed GigE line rate, so the Orsay
+    #: fabric must have been 10G-class (Myrinet); we model its effective
+    #: node bandwidth here.
+    nic_bandwidth: float = 1150.0 * MiB
+    #: per-flow ceiling imposed by the client/server I/O stack (TCP +
+    #: copies on 2006-era Opterons) — what actually bounds one client's
+    #: throughput on a 10G fabric. bytes/s; 0 disables the cap.
+    flow_rate_cap: float = 270.0 * MiB
+    #: aggregate backbone capacity, bytes/s (0 = non-blocking fabric)
+    backbone_bandwidth: float = 0.0
+    #: one-way network latency per RPC/flow, seconds
+    latency: float = 0.0002
+    #: sustained disk write bandwidth per node, bytes/s
+    disk_write_bandwidth: float = 70.0 * MiB
+    #: sustained disk read bandwidth per node, bytes/s
+    disk_read_bandwidth: float = 90.0 * MiB
+    #: fraction of reads served from the OS page cache (the
+    #: microbenchmarks read recently written data, largely RAM-resident)
+    page_cache_hit_ratio: float = 0.9
+    #: service time of one metadata RPC at a metadata provider, seconds
+    metadata_rpc_time: float = 0.0006
+    #: service time of the version manager's critical section, seconds
+    version_assign_time: float = 0.0004
+    #: service time of one namespace-manager / namenode RPC, seconds
+    namespace_rpc_time: float = 0.0008
+    #: experiment seed
+    seed: int = 20100621  # HPDC'10 workshop date
+
+    def validate(self) -> None:
+        if self.nodes < 4:
+            raise ValueError("need at least 4 nodes for a deployment")
+        for name in (
+            "nic_bandwidth",
+            "disk_write_bandwidth",
+            "disk_read_bandwidth",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not (0.0 <= self.page_cache_hit_ratio <= 1.0):
+            raise ValueError("page_cache_hit_ratio must be in [0, 1]")
+        if self.flow_rate_cap < 0:
+            raise ValueError("flow_rate_cap must be non-negative")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+@dataclass(slots=True)
+class ExperimentConfig:
+    """Bundle of every knob an experiment run needs."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    blobseer: BlobSeerConfig = field(default_factory=BlobSeerConfig)
+    hdfs: HDFSConfig = field(default_factory=HDFSConfig)
+    mapreduce: MapReduceConfig = field(default_factory=MapReduceConfig)
+    #: repetitions per data point (the paper runs each test 5 times)
+    repetitions: int = 5
+
+    def validate(self) -> None:
+        self.cluster.validate()
+        self.blobseer.validate()
+        self.hdfs.validate()
+        self.mapreduce.validate()
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")

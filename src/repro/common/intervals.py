@@ -1,0 +1,168 @@
+"""Byte-extent algebra.
+
+BlobSeer's metadata layer, the BSFS client cache, and the HDFS block map
+all reason about half-open byte ranges ``[offset, offset + size)``. This
+module centralizes that arithmetic so each subsystem shares one audited
+implementation of overlap, clipping, coverage, and hole detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Extent:
+    """A half-open byte range ``[offset, offset + size)`` with ``size > 0``.
+
+    Extents are immutable and ordered by ``(offset, size)`` so sorted
+    sequences of extents are cheap to sweep.
+    """
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"negative offset: {self.offset}")
+        if self.size <= 0:
+            raise ValueError(f"non-positive size: {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte covered."""
+        return self.offset + self.size
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True when the two ranges share at least one byte."""
+        return self.offset < other.end and other.offset < self.end
+
+    def contains(self, other: "Extent") -> bool:
+        """True when *other* lies entirely inside this extent."""
+        return self.offset <= other.offset and other.end <= self.end
+
+    def contains_offset(self, offset: int) -> bool:
+        """True when the single byte at *offset* lies inside this extent."""
+        return self.offset <= offset < self.end
+
+    def intersect(self, other: "Extent") -> "Extent | None":
+        """The overlapping sub-range, or ``None`` when disjoint."""
+        lo = max(self.offset, other.offset)
+        hi = min(self.end, other.end)
+        if lo >= hi:
+            return None
+        return Extent(lo, hi - lo)
+
+    def shift(self, delta: int) -> "Extent":
+        """This extent translated by *delta* bytes."""
+        return Extent(self.offset + delta, self.size)
+
+    def split_at(self, offset: int) -> Tuple["Extent", "Extent"]:
+        """Split into ``[offset0, offset)`` and ``[offset, end)``.
+
+        *offset* must fall strictly inside the extent.
+        """
+        if not (self.offset < offset < self.end):
+            raise ValueError(f"split point {offset} outside interior of {self}")
+        return Extent(self.offset, offset - self.offset), Extent(offset, self.end - offset)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.offset}, {self.end})"
+
+
+def align_down(offset: int, granularity: int) -> int:
+    """Largest multiple of *granularity* that is <= *offset*."""
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    return (offset // granularity) * granularity
+
+
+def align_up(offset: int, granularity: int) -> int:
+    """Smallest multiple of *granularity* that is >= *offset*."""
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    return -(-offset // granularity) * granularity
+
+
+def split_to_pages(extent: Extent, page_size: int) -> List[Extent]:
+    """Decompose an extent into page-aligned sub-extents.
+
+    The first and last pieces may be partial pages; interior pieces are
+    exactly *page_size* long. This is the striping rule both BlobSeer
+    (pages) and HDFS (chunks) apply to client I/O.
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    pieces: List[Extent] = []
+    cursor = extent.offset
+    while cursor < extent.end:
+        boundary = align_down(cursor, page_size) + page_size
+        upper = min(boundary, extent.end)
+        pieces.append(Extent(cursor, upper - cursor))
+        cursor = upper
+    return pieces
+
+
+def page_span(extent: Extent, page_size: int) -> range:
+    """Indices of every page touched by *extent* (page i covers
+    ``[i*page_size, (i+1)*page_size)``)."""
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    first = extent.offset // page_size
+    last = (extent.end - 1) // page_size
+    return range(first, last + 1)
+
+
+def merge_extents(extents: Iterable[Extent]) -> List[Extent]:
+    """Coalesce overlapping/adjacent extents into a minimal sorted list."""
+    ordered = sorted(extents)
+    merged: List[Extent] = []
+    for ext in ordered:
+        if merged and ext.offset <= merged[-1].end:
+            prev = merged[-1]
+            if ext.end > prev.end:
+                merged[-1] = Extent(prev.offset, ext.end - prev.offset)
+        else:
+            merged.append(ext)
+    return merged
+
+
+def subtract(base: Extent, covers: Sequence[Extent]) -> List[Extent]:
+    """The parts of *base* not covered by any extent in *covers*.
+
+    Used to find the holes a cache miss must fetch and the regions a
+    segment-tree query still needs to resolve from older versions.
+    """
+    holes: List[Extent] = []
+    cursor = base.offset
+    for cov in merge_extents(c for c in covers if c.overlaps(base)):
+        clipped = cov.intersect(base)
+        assert clipped is not None
+        if clipped.offset > cursor:
+            holes.append(Extent(cursor, clipped.offset - cursor))
+        cursor = max(cursor, clipped.end)
+    if cursor < base.end:
+        holes.append(Extent(cursor, base.end - cursor))
+    return holes
+
+
+def covers_fully(base: Extent, covers: Sequence[Extent]) -> bool:
+    """True when *covers* jointly blanket every byte of *base*."""
+    return not subtract(base, covers)
+
+
+def iter_chunks(total_size: int, chunk_size: int) -> Iterator[Extent]:
+    """Yield consecutive chunk extents covering ``[0, total_size)``.
+
+    The final chunk may be short. Yields nothing for ``total_size == 0``.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if total_size < 0:
+        raise ValueError("total_size must be non-negative")
+    offset = 0
+    while offset < total_size:
+        size = min(chunk_size, total_size - offset)
+        yield Extent(offset, size)
+        offset += size

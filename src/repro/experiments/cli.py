@@ -1,0 +1,88 @@
+"""``repro-fig`` — regenerate the paper's figures from the command line.
+
+Examples::
+
+    repro-fig fig3                  # quick sweep of Figure 3
+    repro-fig fig6 --scale paper    # full-scale Figure 6 (minutes)
+    repro-fig all --json out.json   # everything, also saved as JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .figures import ALL_FIGURES, fig3, fig4, fig5, fig6, filecount_table
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fig",
+        description=(
+            "Regenerate the evaluation figures of 'Improving the Hadoop "
+            "Map/Reduce Framework to Support Concurrent Appends through "
+            "the BlobSeer BLOB management system' (HPDC'10)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        default="quick",
+        help="sweep density and repetitions (default: quick)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as JSON to PATH",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repetitions per data point (default: 1 quick / 5 paper)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as an ASCII chart",
+    )
+    args = parser.parse_args(argv)
+
+    config = None
+    if args.reps is not None:
+        from ..common.config import ExperimentConfig
+
+        config = ExperimentConfig(repetitions=args.reps)
+
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    results = []
+    for name in names:
+        fn = ALL_FIGURES[name]
+        if name == "filecount":
+            result = fn()
+        else:
+            result = fn(scale=args.scale, config=config)
+        results.append(result)
+        print(result.to_text())
+        if args.chart:
+            print()
+            print(result.to_ascii_chart())
+        print()
+    if args.json:
+        with open(args.json, "w") as fp:
+            json.dump([r.to_dict() for r in results], fp, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Figure 6: completion time of the data join application vs reducers.
+
+The paper runs the Hadoop-contrib *data join* on 270 nodes with the
+input fixed (two 320 MB files → 10 map chunks) and the number of
+reducers swept 1…230, in two scenarios: the original framework on HDFS
+(one output file per reducer) and the modified framework on BSFS (all
+reducers append to one shared file). The measured completion time is
+roughly constant in both scenarios "because data join is a
+computation-intensive application".
+
+This driver runs the *simulated* job: map and reduce tasks are DES
+processes whose I/O flows through the same storage models as the
+microbenchmarks and whose CPU time comes from the calibration constants
+below. The CPU constants are the one thing we cannot derive from the
+paper (it reports no per-phase breakdown); they are chosen so the
+absolute completion time sits in the paper's plotted range (y-axis up
+to 900 s) with the map phase dominant — which is exactly what the
+paper asserts drives the flat shape. The *comparisons* (HDFS vs BSFS,
+flatness in R, file counts) do not depend on the constants.
+
+The functional twin of this experiment — the real framework executing
+the real join on real bytes, output validated against an oracle — runs
+at reduced scale in ``tests/apps/test_datajoin.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Sequence, Tuple
+
+from ..common.config import ExperimentConfig
+from ..common.units import MiB
+from ..sim.core import Event
+from .deploy import deploy_bsfs, deploy_hdfs
+
+
+@dataclass(slots=True)
+class DataJoinCalibration:
+    """CPU-side constants of the simulated job (see module docstring)."""
+
+    #: input volume per map task (the paper: 64 MB chunks, 10 mappers)
+    chunk_bytes: int = 64 * MiB
+    #: total input volume (two 320 MB files)
+    input_bytes: int = 2 * 320 * MiB
+    #: join output volume ("generates 6.3 GB of output data")
+    output_bytes: int = int(6.3 * 1024 * MiB)
+    #: seconds a mapper spends matching keys in one 64 MB chunk
+    map_seconds_per_chunk: float = 500.0
+    #: seconds of combining work per MiB of produced output (split over
+    #: the reducers)
+    reduce_seconds_per_output_mib: float = 0.02
+    #: fixed per-task startup cost (JVM launch, heartbeat latency)
+    task_overhead_seconds: float = 3.0
+    #: intermediate (map-output) volume relative to the input
+    intermediate_expansion: float = 1.0
+
+    @property
+    def n_map_tasks(self) -> int:
+        return -(-self.input_bytes // self.chunk_bytes)
+
+
+@dataclass(slots=True)
+class DataJoinPoint:
+    """One x-position of Figure 6."""
+
+    n_reducers: int
+    completion_seconds: float
+    output_files: int
+    scenario: str  # "hdfs-separate" | "bsfs-shared"
+
+
+def _spread(total: int, parts: int) -> List[int]:
+    """Split *total* bytes into *parts* near-equal positive chunks."""
+    base = total // parts
+    rem = total - base * parts
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def run_datajoin_hdfs(
+    n_reducers: int,
+    config: ExperimentConfig,
+    calibration: DataJoinCalibration | None = None,
+) -> DataJoinPoint:
+    """One Figure 6 point, original framework + HDFS."""
+    cal = calibration or DataJoinCalibration()
+    dep = deploy_hdfs(config)
+    hdfs, cluster = dep.hdfs, dep.cluster
+    env = cluster.env
+    hdfs.preload("/join/input-a", cal.input_bytes // 2)
+    hdfs.preload("/join/input-b", cal.input_bytes - cal.input_bytes // 2)
+
+    # map tasks run data-local: on the datanode holding their chunk
+    map_hosts: List[str] = []
+    for path in ("/join/input-a", "/join/input-b"):
+        for loc in hdfs.namenode.get_block_locations(path, 0, cal.input_bytes):
+            map_hosts.append(loc.hosts[0])
+    map_hosts = map_hosts[: cal.n_map_tasks]
+
+    def map_task(host: str, path: str, offset: int) -> Generator[Event, None, None]:
+        yield env.timeout(cal.task_overhead_seconds)
+        yield env.process(hdfs.read_proc(host, path, offset, cal.chunk_bytes))
+        yield env.timeout(cal.map_seconds_per_chunk)
+        # spill the map output to the local disk
+        yield cluster.node(host).disk.write(
+            int(cal.chunk_bytes * cal.intermediate_expansion)
+        )
+
+    def reduce_task(
+        host: str, partition: int, out_bytes: int
+    ) -> Generator[Event, None, None]:
+        yield env.timeout(cal.task_overhead_seconds)
+        yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        yield env.timeout(
+            cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
+        )
+        yield env.process(
+            hdfs.write_file_proc(host, f"/join/out/part-{partition:05d}", out_bytes)
+        )
+
+    completion = _run_job(
+        env,
+        dep.client_nodes,
+        map_hosts,
+        map_task,
+        reduce_task,
+        n_reducers,
+        cal,
+        input_paths=("/join/input-a", "/join/input-b"),
+    )
+    files = len(
+        [s for s in hdfs.namenode.list_dir("/join/out") if not s.is_directory]
+    )
+    return DataJoinPoint(n_reducers, completion, files, "hdfs-separate")
+
+
+def run_datajoin_bsfs(
+    n_reducers: int,
+    config: ExperimentConfig,
+    calibration: DataJoinCalibration | None = None,
+) -> DataJoinPoint:
+    """One Figure 6 point, modified framework + BSFS (shared output file)."""
+    cal = calibration or DataJoinCalibration()
+    dep = deploy_bsfs(config)
+    bsfs, cluster = dep.bsfs, dep.cluster
+    env = cluster.env
+    env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/join/input-a")))
+    env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/join/input-b")))
+    bsfs.preload("/join/input-a", cal.input_bytes // 2)
+    bsfs.preload("/join/input-b", cal.input_bytes - cal.input_bytes // 2)
+    env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/join/out-shared")))
+
+    map_hosts: List[str] = []
+    for path in ("/join/input-a", "/join/input-b"):
+        record = bsfs.namespace.get(path)
+        for _off, _len, providers in bsfs.blobseer.layout(record.blob_id):
+            map_hosts.append(providers[0])
+    map_hosts = map_hosts[: cal.n_map_tasks]
+
+    def map_task(host: str, path: str, offset: int) -> Generator[Event, None, None]:
+        yield env.timeout(cal.task_overhead_seconds)
+        yield env.process(bsfs.read_proc(host, path, offset, cal.chunk_bytes))
+        yield env.timeout(cal.map_seconds_per_chunk)
+        yield cluster.node(host).disk.write(
+            int(cal.chunk_bytes * cal.intermediate_expansion)
+        )
+
+    def reduce_task(
+        host: str, partition: int, out_bytes: int
+    ) -> Generator[Event, None, None]:
+        yield env.timeout(cal.task_overhead_seconds)
+        yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        yield env.timeout(
+            cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
+        )
+        # the modified framework: append to the single shared file
+        yield env.process(bsfs.append_proc(host, "/join/out-shared", out_bytes))
+
+    completion = _run_job(
+        env,
+        dep.client_nodes,
+        map_hosts,
+        map_task,
+        reduce_task,
+        n_reducers,
+        cal,
+        input_paths=("/join/input-a", "/join/input-b"),
+    )
+    files = len(
+        [s for s in bsfs.namespace.list_dir("/join") if not s.is_directory
+         and "out" in s.path]
+    )
+    return DataJoinPoint(n_reducers, completion, files, "bsfs-shared")
+
+
+def _shuffle(
+    cluster, env, map_hosts: List[str], reducer_host: str,
+    cal: DataJoinCalibration, n_reducers: int,
+) -> Generator[Event, None, None]:
+    """One reducer fetching its partition of every map task's output."""
+    per_map = int(
+        cal.chunk_bytes * cal.intermediate_expansion / n_reducers
+    )
+    if per_map <= 0:
+        return
+    transfers = []
+    for host in map_hosts:
+        transfers.append(cluster.network.transfer(host, reducer_host, per_map))
+    yield env.all_of(transfers)
+
+
+def _run_job(
+    env,
+    tracker_hosts: List[str],
+    map_hosts: List[str],
+    map_task,
+    reduce_task,
+    n_reducers: int,
+    cal: DataJoinCalibration,
+    input_paths: Tuple[str, str],
+) -> float:
+    """Drive map phase → barrier → reduce phase; returns the makespan."""
+    start = env.now
+    half = cal.input_bytes // 2
+
+    def job() -> Generator[Event, None, None]:
+        # map phase: one task per input chunk, on the chunk's holder
+        maps = []
+        for i, host in enumerate(map_hosts):
+            path = input_paths[0] if i * cal.chunk_bytes < half else input_paths[1]
+            offset = (
+                i * cal.chunk_bytes
+                if i * cal.chunk_bytes < half
+                else i * cal.chunk_bytes - half
+            )
+            maps.append(env.process(map_task(host, path, offset), name=f"map-{i}"))
+        yield env.all_of(maps)
+        # reduce phase: round-robin over the tasktracker machines, in
+        # waves bounded by the cluster's reduce slots
+        out_sizes = _spread(cal.output_bytes, n_reducers)
+        slots = max(1, 2 * len(tracker_hosts))  # 2 reduce slots per node
+        partition = 0
+        while partition < n_reducers:
+            wave = []
+            for _ in range(min(slots, n_reducers - partition)):
+                host = tracker_hosts[partition % len(tracker_hosts)]
+                wave.append(
+                    env.process(
+                        reduce_task(host, partition, out_sizes[partition]),
+                        name=f"reduce-{partition}",
+                    )
+                )
+                partition += 1
+            yield env.all_of(wave)
+
+    env.run(env.process(job(), name="datajoin-job"))
+    return env.now - start
+
+
+def sweep(
+    reducer_counts: Sequence[int],
+    config: ExperimentConfig,
+    calibration: DataJoinCalibration | None = None,
+) -> Tuple[List[DataJoinPoint], List[DataJoinPoint]]:
+    """Figure 6's two series: (HDFS-separate, BSFS-shared)."""
+    hdfs_pts = [run_datajoin_hdfs(r, config, calibration) for r in reducer_counts]
+    bsfs_pts = [run_datajoin_bsfs(r, config, calibration) for r in reducer_counts]
+    return hdfs_pts, bsfs_pts

@@ -1,0 +1,81 @@
+"""Simulated Grid'5000 deployments, following the paper's §4.1 setup.
+
+"Both the microbenchmarks and the Map/Reduce applications were performed
+using 270 nodes … For HDFS we deployed the namenode on a dedicated
+machine and the datanodes on the remaining nodes (one entity per
+machine). For BSFS, we deployed one version manager, one provider
+manager, one node for the namespace manager and 20 metadata providers.
+The remaining nodes are used as data providers." Clients are launched
+on the same machines as the datanodes / data providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..blobseer.simulated import BlobSeerRoles
+from ..bsfs.simulated import BSFSRoles, SimBSFS
+from ..common.config import ExperimentConfig
+from ..hdfs.simulated import HDFSRoles, SimHDFS
+from ..sim.cluster import SimCluster
+
+
+@dataclass(slots=True)
+class BSFSDeployment:
+    """A ready BSFS testbed: the cluster, the service, and the machines
+    client processes run on (co-located with the data providers)."""
+
+    cluster: SimCluster
+    bsfs: SimBSFS
+    client_nodes: List[str]
+
+
+@dataclass(slots=True)
+class HDFSDeployment:
+    """A ready HDFS testbed."""
+
+    cluster: SimCluster
+    hdfs: SimHDFS
+    client_nodes: List[str]
+
+
+def deploy_bsfs(config: ExperimentConfig) -> BSFSDeployment:
+    """Materialize the paper's BSFS deployment on a fresh simulation."""
+    config.validate()
+    cluster = SimCluster(config.cluster)
+    names = cluster.names()
+    n_meta = config.blobseer.metadata_providers
+    needed = 3 + n_meta + 1
+    if len(names) < needed:
+        raise ValueError(
+            f"cluster of {len(names)} nodes too small for BSFS deployment "
+            f"(need >= {needed})"
+        )
+    roles = BSFSRoles(
+        blobseer=BlobSeerRoles(
+            version_manager=names[0],
+            provider_manager=names[1],
+            metadata_providers=tuple(names[3 : 3 + n_meta]),
+            data_providers=tuple(names[3 + n_meta :]),
+        ),
+        namespace_manager=names[2],
+    )
+    bsfs = SimBSFS(cluster, roles, config.blobseer)
+    return BSFSDeployment(
+        cluster=cluster,
+        bsfs=bsfs,
+        client_nodes=list(roles.blobseer.data_providers),
+    )
+
+
+def deploy_hdfs(config: ExperimentConfig) -> HDFSDeployment:
+    """Materialize the paper's HDFS deployment on a fresh simulation."""
+    config.validate()
+    cluster = SimCluster(config.cluster)
+    names = cluster.names()
+    roles = HDFSRoles(namenode=names[0], datanodes=tuple(names[1:]))
+    hdfs = SimHDFS(cluster, roles, config.hdfs)
+    return HDFSDeployment(
+        cluster=cluster, hdfs=hdfs, client_nodes=list(roles.datanodes)
+    )

@@ -1,0 +1,273 @@
+"""One function per paper figure/table: regenerate it end-to-end.
+
+Two scales are provided:
+
+* ``"paper"`` — the full 270-node deployment with the paper's sweep
+  ranges and 5 repetitions per point (minutes of wall time);
+* ``"quick"`` — the same deployment with sparser sweeps and one
+  repetition (seconds; what the pytest benchmarks run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.config import ExperimentConfig
+from . import microbench
+from .datajoin_exp import DataJoinCalibration, sweep as datajoin_sweep
+from .report import FigureResult, Series
+
+
+def _config(scale: str, config: Optional[ExperimentConfig]) -> ExperimentConfig:
+    if config is not None:
+        config.validate()
+        return config
+    cfg = ExperimentConfig()
+    if scale == "quick":
+        cfg.repetitions = 1
+    elif scale != "paper":
+        raise ValueError(f"unknown scale {scale!r} (use 'paper' or 'quick')")
+    return cfg
+
+
+def _sweep(scale: str, paper: Sequence[int], quick: Sequence[int]) -> List[int]:
+    return list(paper if scale == "paper" else quick)
+
+
+def fig3(
+    scale: str = "quick", config: Optional[ExperimentConfig] = None
+) -> FigureResult:
+    """Figure 3: performance of BSFS when concurrent clients append data
+    to the same file."""
+    cfg = _config(scale, config)
+    counts = _sweep(
+        scale,
+        paper=[1, 30, 60, 90, 120, 150, 180, 210, 246],
+        quick=[1, 60, 120, 180, 246],
+    )
+    points = microbench.concurrent_appends(counts, cfg)
+    return FigureResult(
+        fig_id="fig3",
+        title="Concurrent appends to the same file (BSFS)",
+        xlabel="clients",
+        ylabel="avg append throughput (MiB/s)",
+        series=[
+            Series("BSFS", [p.x for p in points], [p.mean_mbps for p in points])
+        ],
+        paper_claim=(
+            "BSFS maintains a good throughput as the number of appenders "
+            "increases (1..246 clients, 64 MB appends)"
+        ),
+    )
+
+
+def fig4(
+    scale: str = "quick", config: Optional[ExperimentConfig] = None
+) -> FigureResult:
+    """Figure 4: impact of concurrent appends on concurrent reads from
+    the same file (100 readers fixed)."""
+    cfg = _config(scale, config)
+    counts = _sweep(
+        scale,
+        paper=[0, 20, 40, 60, 80, 100, 120, 140],
+        quick=[0, 60, 140],
+    )
+    points = microbench.reads_under_appends(counts, cfg)
+    return FigureResult(
+        fig_id="fig4",
+        title="Impact of concurrent appends on reads (100 readers)",
+        xlabel="appenders",
+        ylabel="avg read throughput (MiB/s)",
+        series=[
+            Series("BSFS", [p.x for p in points], [p.mean_mbps for p in points])
+        ],
+        paper_claim=(
+            "the average throughput of BSFS reads is sustained even when "
+            "the same file is accessed by multiple concurrent appenders"
+        ),
+    )
+
+
+def fig5(
+    scale: str = "quick", config: Optional[ExperimentConfig] = None
+) -> FigureResult:
+    """Figure 5: impact of concurrent reads on concurrent appends to the
+    same file (100 appenders fixed)."""
+    cfg = _config(scale, config)
+    counts = _sweep(
+        scale,
+        paper=[0, 20, 40, 60, 80, 100, 120, 140],
+        quick=[0, 60, 140],
+    )
+    points = microbench.appends_under_reads(counts, cfg)
+    return FigureResult(
+        fig_id="fig5",
+        title="Impact of concurrent reads on appends (100 appenders)",
+        xlabel="readers",
+        ylabel="avg append throughput (MiB/s)",
+        series=[
+            Series("BSFS", [p.x for p in points], [p.mean_mbps for p in points])
+        ],
+        paper_claim=(
+            "concurrent appenders maintain their throughput as well, when "
+            "the number of concurrent readers from a shared file increases"
+        ),
+    )
+
+
+def fig6(
+    scale: str = "quick",
+    config: Optional[ExperimentConfig] = None,
+    calibration: Optional[DataJoinCalibration] = None,
+) -> FigureResult:
+    """Figure 6: completion time of the data join application when
+    varying the number of reducers, HDFS-separate vs BSFS-shared."""
+    cfg = _config(scale, config)
+    counts = _sweep(
+        scale,
+        paper=[1, 10, 30, 60, 90, 130, 170, 200, 230],
+        quick=[1, 10, 130, 230],
+    )
+    hdfs_pts, bsfs_pts = datajoin_sweep(counts, cfg, calibration)
+    return FigureResult(
+        fig_id="fig6",
+        title="Data join completion time vs number of reducers",
+        xlabel="reducers",
+        ylabel="completion time (s)",
+        series=[
+            Series(
+                "HDFS - multiple output files",
+                [p.n_reducers for p in hdfs_pts],
+                [p.completion_seconds for p in hdfs_pts],
+            ),
+            Series(
+                "BSFS - single output file",
+                [p.n_reducers for p in bsfs_pts],
+                [p.completion_seconds for p in bsfs_pts],
+            ),
+        ],
+        paper_claim=(
+            "BSFS finishes the job in approximately the same amount of time "
+            "as HDFS, and moreover, it produces a single output file; "
+            "completion time in both scenarios remains constant as reducers "
+            "increase"
+        ),
+        notes=(
+            f"BSFS output files per run: "
+            f"{sorted(set(p.output_files for p in bsfs_pts))}; HDFS output "
+            f"files == reducers"
+        ),
+    )
+
+
+def supplementary_separate_writes(
+    scale: str = "quick", config: Optional[ExperimentConfig] = None
+) -> FigureResult:
+    """Supplementary (not a paper figure): N clients each write one
+    64 MB chunk to a private file, HDFS vs BSFS — the file-system-level
+    'no extra cost' check behind Figure 6's conclusion."""
+    cfg = _config(scale, config)
+    counts = _sweep(
+        scale,
+        paper=[1, 30, 60, 120, 180, 246],
+        quick=[1, 60, 180],
+    )
+    hdfs_pts, bsfs_pts = microbench.separate_writes_comparison(counts, cfg)
+    return FigureResult(
+        fig_id="sup-writes",
+        title="Separate-file writes: HDFS vs BSFS (supplementary)",
+        xlabel="clients",
+        ylabel="avg write throughput (MiB/s)",
+        series=[
+            Series("HDFS", [p.x for p in hdfs_pts], [p.mean_mbps for p in hdfs_pts]),
+            Series("BSFS", [p.x for p in bsfs_pts], [p.mean_mbps for p in bsfs_pts]),
+        ],
+        paper_claim=(
+            "support for concurrent appends to shared files is introduced "
+            "with no extra cost (paper conclusion; this check isolates the "
+            "storage layer)"
+        ),
+        notes=(
+            "BSFS pulls ahead under concurrency because HDFS 'picks random "
+            "servers to store the data, which will often lead to a layout "
+            "that is not load balanced' (paper §2.2), while the provider "
+            "manager places least-loaded-first"
+        ),
+    )
+
+
+def filecount_table(
+    reducer_counts: Sequence[int] = (1, 2, 4, 8, 16),
+) -> FigureResult:
+    """The file-count problem (implicit table): output files and
+    namespace entries after the data join, original vs modified
+    framework — functional runtimes, real bytes."""
+    from ..bsfs import BSFS
+    from ..common.config import BlobSeerConfig, HDFSConfig
+    from ..hdfs import HDFSCluster
+    from ..mapreduce import MapReduceCluster
+    from ..apps import run_datajoin
+    from ..workloads import kv_corpus
+
+    left = kv_corpus(300, key_space=40, seed=11)
+    right = kv_corpus(300, key_space=40, seed=12)
+    hdfs_files: List[float] = []
+    bsfs_files: List[float] = []
+    hdfs_entries: List[float] = []
+    bsfs_entries: List[float] = []
+    for r in reducer_counts:
+        hd = HDFSCluster(n_datanodes=4, config=HDFSConfig(chunk_size=16 * 1024))
+        fs = hd.file_system()
+        fs.write_all("/in/left", left)
+        fs.write_all("/in/right", right)
+        mr = MapReduceCluster(fs, hosts=list(hd.datanodes))
+        res = run_datajoin(mr, "/in/left", "/in/right", "/out", n_reducers=r)
+        hdfs_files.append(res.output_file_count)
+        _dirs, files = hd.namenode.tree.count_entries()
+        hdfs_entries.append(files)
+
+        dep = BSFS(
+            config=BlobSeerConfig(page_size=16 * 1024, metadata_providers=4),
+            n_providers=4,
+        )
+        bfs = dep.file_system()
+        bfs.write_all("/in/left", left)
+        bfs.write_all("/in/right", right)
+        mr2 = MapReduceCluster(
+            bfs, hosts=[f"provider-{i:03d}" for i in range(4)]
+        )
+        res2 = run_datajoin(
+            mr2, "/in/left", "/in/right", "/out", n_reducers=r, output_mode="shared"
+        )
+        bsfs_files.append(res2.output_file_count)
+        bsfs_entries.append(dep.namespace.file_count())
+
+    xs = [float(r) for r in reducer_counts]
+    return FigureResult(
+        fig_id="tab-filecount",
+        title="The file-count problem: output files after the data join",
+        xlabel="reducers",
+        ylabel="files",
+        series=[
+            Series("HDFS output files", xs, hdfs_files),
+            Series("BSFS output files", xs, bsfs_files),
+            Series("HDFS namespace files", xs, hdfs_entries),
+            Series("BSFS namespace files", xs, bsfs_entries),
+        ],
+        paper_claim=(
+            "the number of files managed by the Map/Reduce framework is "
+            "substantially reduced: one shared file instead of one per "
+            "reducer"
+        ),
+    )
+
+
+#: registry used by the CLI and the benchmarks
+ALL_FIGURES: Dict[str, object] = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "filecount": filecount_table,
+    "sup-writes": supplementary_separate_writes,
+}

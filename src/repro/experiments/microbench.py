@@ -1,0 +1,275 @@
+"""Microbenchmark drivers — Figures 3, 4 and 5 of the paper (§4.2).
+
+Each driver rebuilds a fresh deployment per data point and repetition
+(the paper: "Each test is executed 5 times, for each set of clients"),
+runs the client processes on machines co-located with the data
+providers, and reports the *average throughput* over clients — each
+client's total bytes over its own busy span, averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Generator, List, Sequence
+
+import numpy as np
+
+from ..common.config import ExperimentConfig
+from ..common.units import MiB
+from ..sim.core import Event
+from .deploy import BSFSDeployment, deploy_bsfs
+
+#: the microbenchmarks' unit of I/O: one 64 MB chunk
+CHUNK = 64 * MiB
+
+
+@dataclass(slots=True)
+class DataPoint:
+    """One x-position of a figure, aggregated over repetitions."""
+
+    x: int
+    mean_mbps: float
+    std_mbps: float
+    samples: List[float] = field(default_factory=list)
+
+
+def _rep_config(config: ExperimentConfig, rep: int) -> ExperimentConfig:
+    """A per-repetition copy with an independent seed."""
+    cluster = replace(config.cluster, seed=config.cluster.seed + 1000 * rep + 1)
+    return ExperimentConfig(
+        cluster=cluster,
+        blobseer=config.blobseer,
+        hdfs=config.hdfs,
+        mapreduce=config.mapreduce,
+        repetitions=config.repetitions,
+    )
+
+
+def _run(deployment: BSFSDeployment, procs) -> None:
+    env = deployment.cluster.env
+
+    def main() -> Generator[Event, None, None]:
+        yield env.all_of(procs)
+
+    env.run(env.process(main(), name="main"))
+
+
+def _client_nodes(deployment: BSFSDeployment, count: int, phase: int = 0) -> List[str]:
+    """*count* client machines, round-robin over the provider nodes.
+
+    *phase* offsets the assignment so reader and appender populations
+    spread over different machines first (as when launching two separate
+    client groups on the reservation).
+    """
+    nodes = deployment.client_nodes
+    return [nodes[(phase + i) % len(nodes)] for i in range(count)]
+
+
+def concurrent_appends(
+    client_counts: Sequence[int],
+    config: ExperimentConfig,
+    chunks_per_client: int = 1,
+) -> List[DataPoint]:
+    """Figure 3: N concurrent clients each append a 64 MB chunk to the
+    same file; report the average append throughput per client."""
+    points: List[DataPoint] = []
+    for n in client_counts:
+        if n < 1:
+            raise ValueError("client counts must be >= 1")
+        samples: List[float] = []
+        for rep in range(config.repetitions):
+            dep = deploy_bsfs(_rep_config(config, rep))
+            bsfs = dep.bsfs
+            env = dep.cluster.env
+            env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/bench/shared")))
+            clients = _client_nodes(dep, n)
+
+            def appender(client: str) -> Generator[Event, None, None]:
+                for _ in range(chunks_per_client):
+                    yield env.process(
+                        bsfs.append_proc(client, "/bench/shared", CHUNK)
+                    )
+
+            _run(dep, [env.process(appender(c), name=f"app-{i}")
+                       for i, c in enumerate(clients)])
+            samples.append(bsfs.metrics.average_client_throughput("append") / MiB)
+        points.append(
+            DataPoint(
+                x=n,
+                mean_mbps=float(np.mean(samples)),
+                std_mbps=float(np.std(samples)),
+                samples=samples,
+            )
+        )
+    return points
+
+
+def _mixed_workload(
+    config: ExperimentConfig,
+    n_readers: int,
+    chunks_per_reader: int,
+    n_appenders: int,
+    chunks_per_appender: int,
+    rep: int,
+) -> BSFSDeployment:
+    """Shared setup of Figures 4 and 5: *n_readers* clients each read
+    *chunks_per_reader* 64 MB chunks from disjoint regions of a shared
+    file while *n_appenders* clients each append *chunks_per_appender*
+    chunks to it."""
+    dep = deploy_bsfs(_rep_config(config, rep))
+    bsfs = dep.bsfs
+    env = dep.cluster.env
+    path = "/bench/shared"
+    # preload the region the readers will consume (disjoint per reader)
+    env.run(env.process(bsfs.create_proc(dep.client_nodes[0], path)))
+    if n_readers:
+        bsfs.preload(path, n_readers * chunks_per_reader * CHUNK)
+    readers = _client_nodes(dep, n_readers)
+    appenders = _client_nodes(dep, n_appenders, phase=n_readers)
+
+    def reader(idx: int, client: str) -> Generator[Event, None, None]:
+        base = idx * chunks_per_reader * CHUNK
+        for c in range(chunks_per_reader):
+            yield env.process(
+                bsfs.read_proc(client, path, base + c * CHUNK, CHUNK)
+            )
+
+    def appender(client: str) -> Generator[Event, None, None]:
+        for _ in range(chunks_per_appender):
+            yield env.process(bsfs.append_proc(client, path, CHUNK))
+
+    procs = [
+        env.process(reader(i, c), name=f"reader-{i}")
+        for i, c in enumerate(readers)
+    ] + [
+        env.process(appender(c), name=f"appender-{i}")
+        for i, c in enumerate(appenders)
+    ]
+    _run(dep, procs)
+    return dep
+
+
+def separate_writes_comparison(
+    client_counts: Sequence[int],
+    config: ExperimentConfig,
+) -> "tuple[List[DataPoint], List[DataPoint]]":
+    """Supplementary head-to-head: N clients each write one 64 MB chunk
+    to their *own* file — the only write pattern both systems support
+    (the paper compares the systems end-to-end in Figure 6 instead,
+    because HDFS cannot run the append microbenchmarks at all).
+
+    Returns (HDFS points, BSFS points); matching curves support the
+    paper's 'no extra cost' conclusion at the file-system level.
+    """
+    from .deploy import deploy_hdfs
+
+    hdfs_points: List[DataPoint] = []
+    bsfs_points: List[DataPoint] = []
+    for n in client_counts:
+        if n < 1:
+            raise ValueError("client counts must be >= 1")
+        hdfs_samples: List[float] = []
+        bsfs_samples: List[float] = []
+        for rep in range(config.repetitions):
+            # HDFS: one file per client (Figure 1's pattern)
+            dep_h = deploy_hdfs(_rep_config(config, rep))
+            env = dep_h.cluster.env
+            procs = [
+                env.process(
+                    dep_h.hdfs.write_file_proc(
+                        dep_h.client_nodes[i % len(dep_h.client_nodes)],
+                        f"/bench/part-{i:05d}",
+                        CHUNK,
+                    )
+                )
+                for i in range(n)
+            ]
+            _run(dep_h, procs)  # type: ignore[arg-type]
+            hdfs_samples.append(
+                dep_h.hdfs.metrics.average_client_throughput("write") / MiB
+            )
+
+            # BSFS: one file per client, written via append
+            dep_b = deploy_bsfs(_rep_config(config, rep))
+            env = dep_b.cluster.env
+            clients = _client_nodes(dep_b, n)
+            for i, c in enumerate(clients):
+                env.run(env.process(dep_b.bsfs.create_proc(c, f"/bench/part-{i:05d}")))
+
+            procs = [
+                env.process(dep_b.bsfs.append_proc(c, f"/bench/part-{i:05d}", CHUNK))
+                for i, c in enumerate(clients)
+            ]
+            _run(dep_b, procs)
+            bsfs_samples.append(
+                dep_b.bsfs.metrics.average_client_throughput("append") / MiB
+            )
+        hdfs_points.append(
+            DataPoint(n, float(np.mean(hdfs_samples)), float(np.std(hdfs_samples)),
+                      hdfs_samples)
+        )
+        bsfs_points.append(
+            DataPoint(n, float(np.mean(bsfs_samples)), float(np.std(bsfs_samples)),
+                      bsfs_samples)
+        )
+    return hdfs_points, bsfs_points
+
+
+def reads_under_appends(
+    appender_counts: Sequence[int],
+    config: ExperimentConfig,
+    n_readers: int = 100,
+    chunks_per_reader: int = 10,
+    chunks_per_appender: int = 16,
+) -> List[DataPoint]:
+    """Figure 4: fixed 100 readers (10 chunks each); sweep the number of
+    concurrent appenders (16 chunks each); report read throughput."""
+    points: List[DataPoint] = []
+    for n_app in appender_counts:
+        samples: List[float] = []
+        for rep in range(config.repetitions):
+            dep = _mixed_workload(
+                config, n_readers, chunks_per_reader, n_app, chunks_per_appender, rep
+            )
+            samples.append(
+                dep.bsfs.metrics.average_client_throughput("read") / MiB
+            )
+        points.append(
+            DataPoint(
+                x=n_app,
+                mean_mbps=float(np.mean(samples)),
+                std_mbps=float(np.std(samples)),
+                samples=samples,
+            )
+        )
+    return points
+
+
+def appends_under_reads(
+    reader_counts: Sequence[int],
+    config: ExperimentConfig,
+    n_appenders: int = 100,
+    chunks_per_reader: int = 10,
+    chunks_per_appender: int = 10,
+) -> List[DataPoint]:
+    """Figure 5: fixed 100 appenders; sweep the number of concurrent
+    readers; both access 10 chunks of 64 MB; report append throughput."""
+    points: List[DataPoint] = []
+    for n_read in reader_counts:
+        samples: List[float] = []
+        for rep in range(config.repetitions):
+            dep = _mixed_workload(
+                config, n_read, chunks_per_reader, n_appenders, chunks_per_appender, rep
+            )
+            samples.append(
+                dep.bsfs.metrics.average_client_throughput("append") / MiB
+            )
+        points.append(
+            DataPoint(
+                x=n_read,
+                mean_mbps=float(np.mean(samples)),
+                std_mbps=float(np.std(samples)),
+                samples=samples,
+            )
+        )
+    return points

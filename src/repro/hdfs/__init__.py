@@ -1,0 +1,25 @@
+"""HDFS reimplementation — the paper's baseline storage layer.
+
+Namenode + datanodes with 64 MB chunks, random placement, client write
+buffering, whole-chunk readahead, write-once-read-many semantics and —
+crucially for this paper — *no* append support: the call exists in the
+:class:`~repro.common.fs.FileSystem` interface but raises
+:class:`~repro.common.errors.AppendNotSupportedError`.
+"""
+
+from .block import BlockId, BlockInfo
+from .datanode import DataNode
+from .namenode import INodeFile, NameNode
+from .client import HDFSCluster, HDFSFileSystem, HDFSInputStream, HDFSOutputStream
+
+__all__ = [
+    "BlockId",
+    "BlockInfo",
+    "DataNode",
+    "INodeFile",
+    "NameNode",
+    "HDFSCluster",
+    "HDFSFileSystem",
+    "HDFSInputStream",
+    "HDFSOutputStream",
+]

@@ -1,0 +1,322 @@
+"""HDFS client: the :class:`~repro.common.fs.FileSystem` implementation.
+
+Reproduces the client-side behaviours the paper calls out:
+
+* **write buffering** — "Clients buffer all write operations until the
+  data reaches the size of a chunk (64MB)"; only then is a chunk
+  allocated at the namenode and shipped to datanodes;
+* **readahead** — "when HDFS receives a read request for a small block,
+  it prefetches the entire chunk that contains the required block";
+* **no append** — :meth:`HDFSFileSystem.append` raises
+  :class:`~repro.common.errors.AppendNotSupportedError`;
+* single writer, write-once-read-many.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import HDFSConfig
+from ..common.errors import (
+    AppendNotSupportedError,
+    FileClosedError,
+    PageNotFoundError,
+    ProviderUnavailableError,
+    ReplicationError,
+)
+from ..common.fs import (
+    BlockLocation,
+    FileStatus,
+    FileSystem,
+    InputStream,
+    OutputStream,
+    normalize_path,
+)
+from .block import BlockId, BlockInfo
+from .datanode import DataNode
+from .namenode import INodeFile, NameNode
+
+
+class HDFSCluster:
+    """One in-process HDFS deployment: a namenode plus datanodes."""
+
+    def __init__(
+        self,
+        n_datanodes: int = 4,
+        config: Optional[HDFSConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or HDFSConfig()
+        self.config.validate()
+        names = [f"datanode-{i:03d}" for i in range(n_datanodes)]
+        self.datanodes: Dict[str, DataNode] = {n: DataNode(n) for n in names}
+        self.namenode = NameNode(names, config=self.config, seed=seed)
+
+    def file_system(self, client_name: str = "client") -> "HDFSFileSystem":
+        """A client endpoint bound to this deployment."""
+        return HDFSFileSystem(self, client_name)
+
+    def fail_datanode(self, name: str) -> None:
+        """Fault injection: crash a datanode and exclude it from placement."""
+        self.datanodes[name].fail()
+        self.namenode.mark_down(name)
+
+    def recover_datanode(self, name: str) -> None:
+        self.datanodes[name].recover()
+        self.namenode.mark_up(name)
+
+
+class HDFSFileSystem(FileSystem):
+    """Hadoop ``FileSystem`` facade over an :class:`HDFSCluster`."""
+
+    scheme = "hdfs"
+
+    def __init__(self, cluster: HDFSCluster, client_name: str) -> None:
+        self.cluster = cluster
+        self.client_name = client_name
+
+    # -- data paths ---------------------------------------------------------------
+
+    def create(self, path: str, overwrite: bool = False) -> "HDFSOutputStream":
+        path = normalize_path(path)
+        self.cluster.namenode.create(path, self.client_name, overwrite=overwrite)
+        return HDFSOutputStream(self, path)
+
+    def open(self, path: str) -> "HDFSInputStream":
+        path = normalize_path(path)
+        inode = self.cluster.namenode.get_file(path)
+        return HDFSInputStream(self, path, inode)
+
+    def append(self, path: str) -> OutputStream:
+        """Present in the interface, refused by this file system."""
+        self.cluster.namenode.append(path)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- namespace ------------------------------------------------------------------
+
+    def mkdirs(self, path: str) -> None:
+        self.cluster.namenode.mkdirs(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        return self.cluster.namenode.delete(path, recursive=recursive) is not None
+
+    def rename(self, src: str, dst: str) -> None:
+        self.cluster.namenode.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self.cluster.namenode.exists(path)
+
+    def get_status(self, path: str) -> FileStatus:
+        return self.cluster.namenode.get_status(path)
+
+    def list_dir(self, path: str) -> List[FileStatus]:
+        return self.cluster.namenode.list_dir(path)
+
+    def get_block_locations(
+        self, path: str, offset: int, length: int
+    ) -> List[BlockLocation]:
+        return self.cluster.namenode.get_block_locations(path, offset, length)
+
+    # -- datanode I/O helpers -----------------------------------------------------------
+
+    def _write_block(
+        self, path: str, data: bytes
+    ) -> None:
+        """Allocate a chunk at the namenode and ship it to every replica."""
+        nn = self.cluster.namenode
+        block_id, targets = nn.allocate_block(path, self.client_name)
+        stored: List[str] = []
+        for name in targets:
+            node = self.cluster.datanodes[name]
+            try:
+                node.put_block(block_id, data)
+                stored.append(name)
+            except ProviderUnavailableError:
+                nn.mark_down(name)
+        if not stored:
+            raise ReplicationError(f"chunk {block_id} stored nowhere")
+        nn.commit_block(path, self.client_name, block_id, len(data), tuple(stored))
+
+    def _read_block_range(
+        self, block: BlockInfo, offset: int, size: int
+    ) -> bytes:
+        """Read a range of one chunk, falling back across replicas."""
+        last_exc: Exception | None = None
+        for name in block.datanodes:
+            node = self.cluster.datanodes.get(name)
+            if node is None:
+                continue
+            try:
+                return node.get_block(block.block_id, offset, size)
+            except (ProviderUnavailableError, PageNotFoundError) as exc:
+                last_exc = exc
+        raise ReplicationError(
+            f"no replica of chunk {block.block_id} is readable"
+        ) from last_exc
+
+
+class HDFSOutputStream(OutputStream):
+    """Write stream with chunk-granularity client buffering."""
+
+    def __init__(self, fs: HDFSFileSystem, path: str) -> None:
+        self.fs = fs
+        self.path = path
+        self._buffer = bytearray()
+        self._written = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._chunk_size = fs.cluster.config.chunk_size
+        self._buffer_limit = min(fs.cluster.config.write_buffer, self._chunk_size)
+
+    def write(self, data: bytes) -> int:
+        with self._lock:
+            self._check_open()
+            self._buffer += data
+            self._written += len(data)
+            while len(self._buffer) >= self._buffer_limit:
+                chunk = bytes(self._buffer[: self._buffer_limit])
+                del self._buffer[: self._buffer_limit]
+                self.fs._write_block(self.path, chunk)
+            return len(data)
+
+    def flush(self) -> None:
+        """A no-op by design: HDFS only ships full chunks (plus the final
+        partial chunk at close) — flushing mid-chunk is not supported by
+        the write-once model."""
+        with self._lock:
+            self._check_open()
+
+    def tell(self) -> int:
+        with self._lock:
+            return self._written
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._buffer:
+                self.fs._write_block(self.path, bytes(self._buffer))
+                self._buffer.clear()
+            self.fs.cluster.namenode.complete(self.path, self.fs.client_name)
+            self._closed = True
+
+    def discard(self) -> None:
+        """Abandon the under-construction file entirely (never visible)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._buffer.clear()
+            self.fs.cluster.namenode.abandon(self.path, self.fs.client_name)
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FileClosedError(self.path)
+
+
+class HDFSInputStream(InputStream):
+    """Read stream with whole-chunk readahead caching."""
+
+    def __init__(self, fs: HDFSFileSystem, path: str, inode: INodeFile) -> None:
+        self.fs = fs
+        self.path = path
+        self._blocks = list(inode.blocks)
+        self._offsets: List[int] = []
+        pos = 0
+        for b in self._blocks:
+            self._offsets.append(pos)
+            pos += b.length
+        self._size = pos
+        self._pos = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        # readahead cache: (block index, chunk bytes)
+        self._cached: Optional[Tuple[int, bytes]] = None
+        #: lifetime counter of datanode fetches (readahead effectiveness)
+        self.fetches = 0
+
+    # -- positioning -----------------------------------------------------------------
+
+    def seek(self, offset: int) -> None:
+        with self._lock:
+            self._check_open()
+            if offset < 0 or offset > self._size:
+                raise ValueError(f"seek to {offset} outside [0, {self._size}]")
+            self._pos = offset
+
+    def tell(self) -> int:
+        with self._lock:
+            return self._pos
+
+    @property
+    def size(self) -> int:
+        """Total file size."""
+        return self._size
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read(self, n: int) -> bytes:
+        with self._lock:
+            self._check_open()
+            data = self._pread_locked(self._pos, n)
+            self._pos += len(data)
+            return data
+
+    def pread(self, offset: int, n: int) -> bytes:
+        with self._lock:
+            self._check_open()
+            return self._pread_locked(offset, n)
+
+    def _pread_locked(self, offset: int, n: int) -> bytes:
+        if n < 0:
+            raise ValueError("negative read size")
+        if offset >= self._size or n == 0:
+            return b""
+        n = min(n, self._size - offset)
+        pieces: List[bytes] = []
+        remaining = n
+        pos = offset
+        while remaining > 0:
+            index = self._block_index(pos)
+            block = self._blocks[index]
+            base = self._offsets[index]
+            in_block = pos - base
+            take = min(remaining, block.length - in_block)
+            pieces.append(self._read_from_block(index, in_block, take))
+            pos += take
+            remaining -= take
+        return b"".join(pieces)
+
+    def _block_index(self, pos: int) -> int:
+        # binary search over block start offsets
+        lo, hi = 0, len(self._blocks) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._offsets[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _read_from_block(self, index: int, offset: int, size: int) -> bytes:
+        block = self._blocks[index]
+        if self._cached is not None and self._cached[0] == index:
+            return self._cached[1][offset : offset + size]
+        if self.fs.cluster.config.readahead:
+            # prefetch the entire chunk containing the requested range
+            chunk = self.fs._read_block_range(block, 0, block.length)
+            self.fetches += 1
+            self._cached = (index, chunk)
+            return chunk[offset : offset + size]
+        self.fetches += 1
+        return self.fs._read_block_range(block, offset, size)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._cached = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FileClosedError(self.path)

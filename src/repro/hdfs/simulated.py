@@ -1,0 +1,163 @@
+"""Simulated HDFS — the baseline's performance model on the DES cluster.
+
+The real (threaded) :class:`~repro.hdfs.namenode.NameNode` is reused as
+the control plane — its calls execute instantly inside simulated
+processes, while each call is *charged* as a serialized RPC at the
+dedicated namenode machine. The data plane (chunk transfers, datanode
+disks) flows through the shared network/disk models, so HDFS and BSFS
+contend under identical physics in head-to-head experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from ..common.config import HDFSConfig
+from ..sim.cluster import SimCluster
+from ..sim.core import Event
+from ..sim.metrics import Metrics
+from ..sim.resources import Resource
+from .namenode import NameNode
+
+
+@dataclass(frozen=True, slots=True)
+class HDFSRoles:
+    """Which machines form the HDFS deployment: "the namenode on a
+    dedicated machine and the datanodes on the remaining nodes"."""
+
+    namenode: str
+    datanodes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.datanodes:
+            raise ValueError("need at least one datanode")
+
+
+class SimHDFS:
+    """An HDFS deployment on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        roles: HDFSRoles,
+        config: Optional[HDFSConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.roles = roles
+        self.config = config or HDFSConfig()
+        self.config.validate()
+        self.namenode = NameNode(
+            list(roles.datanodes), config=self.config, seed=cluster.config.seed
+        )
+        self._nn_slot = Resource(self.env, capacity=1)
+        self.metrics = Metrics()
+
+    # -- namenode RPC ------------------------------------------------------------
+
+    def _nn_call(self, fn) -> Generator[Event, None, object]:
+        """Round trip to the namenode (serialized service)."""
+        yield self.env.timeout(self.cluster.config.latency)
+        req = yield self._nn_slot.request()
+        try:
+            yield self.env.timeout(self.cluster.config.namespace_rpc_time)
+            result = fn()
+        finally:
+            self._nn_slot.release(req)
+        yield self.env.timeout(self.cluster.config.latency)
+        return result
+
+    # -- file operations ------------------------------------------------------------
+
+    def write_file_proc(
+        self, client: str, path: str, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Create + write + close a file of *nbytes* from *client*.
+
+        The client buffers chunk-by-chunk (64 MB) and ships each chunk to
+        its randomly placed replicas; datanodes persist asynchronously,
+        like the providers (both systems buffer writes in memory).
+        """
+        if nbytes <= 0:
+            raise ValueError("write of zero bytes")
+        start = self.env.now
+        yield self.env.process(
+            self._nn_call(lambda: self.namenode.create(path, client)),
+            name="nn-create",
+        )
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.config.chunk_size, remaining)
+            remaining -= chunk
+            block_id, targets = yield self.env.process(
+                self._nn_call(lambda: self.namenode.allocate_block(path, client)),
+                name="nn-allocate",
+            )
+            transfers = [
+                self.cluster.network.transfer(client, dn, chunk) for dn in targets
+            ]
+            yield self.env.all_of(transfers)
+            for dn in targets:
+                self.cluster.node(dn).disk.write(chunk)  # async persistence
+            yield self.env.process(
+                self._nn_call(
+                    lambda bid=block_id, t=targets, c=chunk: self.namenode.commit_block(
+                        path, client, bid, c, t
+                    )
+                ),
+                name="nn-commit",
+            )
+        yield self.env.process(
+            self._nn_call(lambda: self.namenode.complete(path, client)),
+            name="nn-complete",
+        )
+        self.metrics.record(client, "write", start, self.env.now, nbytes)
+
+    def read_proc(
+        self, client: str, path: str, offset: int, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Read a byte range: one namenode location RPC, then parallel
+        chunk fetches (datanode disk/page-cache + network)."""
+        if nbytes <= 0:
+            raise ValueError("read of zero bytes")
+        start = self.env.now
+        locations = yield self.env.process(
+            self._nn_call(
+                lambda: self.namenode.get_block_locations(path, offset, nbytes)
+            ),
+            name="nn-locate",
+        )
+        fetchers = []
+        for loc in locations:
+            lo = max(offset, loc.offset)
+            hi = min(offset + nbytes, loc.offset + loc.length)
+            if hi <= lo:
+                continue
+            fetchers.append(
+                self.env.process(
+                    self._fetch(client, loc.hosts[0], hi - lo), name="chunk-fetch"
+                )
+            )
+        yield self.env.all_of(fetchers)
+        self.metrics.record(client, "read", start, self.env.now, nbytes)
+
+    def _fetch(
+        self, client: str, datanode: str, nbytes: int
+    ) -> Generator[Event, None, None]:
+        yield self.cluster.node(datanode).disk.read(nbytes)
+        yield self.cluster.network.transfer(datanode, client, nbytes)
+
+    # -- experiment plumbing -------------------------------------------------------------
+
+    def preload(self, path: str, nbytes: int, writer: str = "preload") -> None:
+        """Instantly materialize a file (control plane only), for setting
+        up read-side experiments."""
+        self.namenode.create(path, writer)
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.config.chunk_size, remaining)
+            remaining -= chunk
+            block_id, targets = self.namenode.allocate_block(path, writer)
+            self.namenode.commit_block(path, writer, block_id, chunk, targets)
+        self.namenode.complete(path, writer)

@@ -1,0 +1,43 @@
+"""Hadoop-style Map/Reduce framework with both output paths of the paper:
+the original file-per-reducer commit-by-rename, and the modified
+shared-file concurrent-append commit enabled by BSFS."""
+
+from .job import (
+    Context,
+    Counters,
+    JobConf,
+    JobResult,
+    default_partitioner,
+)
+from .task import MapTaskInfo, ReduceTaskInfo, TaskState
+from .jobtracker import JobInProgress
+from .tasktracker import TaskTracker, execute_map_task, execute_reduce_task
+from .runner import MapReduceCluster
+from .shuffle import (
+    MapOutputStore,
+    merge_sorted_partitions,
+    partition_and_sort,
+)
+from .pipeline import PipelineResult, PipelineStage, run_pipeline
+
+__all__ = [
+    "Context",
+    "Counters",
+    "JobConf",
+    "JobResult",
+    "default_partitioner",
+    "MapTaskInfo",
+    "ReduceTaskInfo",
+    "TaskState",
+    "JobInProgress",
+    "TaskTracker",
+    "execute_map_task",
+    "execute_reduce_task",
+    "MapReduceCluster",
+    "MapOutputStore",
+    "merge_sorted_partitions",
+    "partition_and_sort",
+    "PipelineResult",
+    "PipelineStage",
+    "run_pipeline",
+]

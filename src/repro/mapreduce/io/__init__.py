@@ -1,0 +1,30 @@
+"""Map/Reduce I/O: input splitting/reading, output writing, committers."""
+
+from .input import (
+    FileSplit,
+    KeyValueLineRecordReader,
+    LineRecordReader,
+    compute_splits,
+    make_record_reader,
+)
+from .records import TextRecordWriter, to_bytes
+from .committers import (
+    OutputCommitter,
+    SeparateFileCommitter,
+    SharedAppendCommitter,
+    make_committer,
+)
+
+__all__ = [
+    "FileSplit",
+    "KeyValueLineRecordReader",
+    "LineRecordReader",
+    "compute_splits",
+    "make_record_reader",
+    "TextRecordWriter",
+    "to_bytes",
+    "OutputCommitter",
+    "SeparateFileCommitter",
+    "SharedAppendCommitter",
+    "make_committer",
+]

@@ -1,0 +1,159 @@
+"""Output committers — where the paper modifies Hadoop.
+
+* :class:`SeparateFileCommitter` is the original framework (Figure 1):
+  "when a tasktracker executes the 'reduce' function …, the output is
+  written to a temporary file; each temporary file has a unique name …
+  When the 'reduce' phase is completed, each reducer renames the
+  temporary file to the final output directory". The job ends with one
+  ``part-NNNNN`` file per reducer.
+
+* :class:`SharedAppendCommitter` is the modified framework (Figure 2):
+  "We modified the reducer code to append the output it produces to a
+  single file, instead of writing it to a distinct file". Every reducer
+  opens an append stream on the same shared file; the storage layer must
+  therefore support concurrent appends (BSFS does; HDFS raises
+  ``AppendNotSupportedError``, surfacing exactly why the paper needs
+  BlobSeer).
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import List
+
+from ...common.fs import FileSystem, OutputStream, join_path
+
+
+class OutputCommitter(abc.ABC):
+    """Lifecycle hooks around each reducer's output."""
+
+    def __init__(self, fs: FileSystem, output_dir: str) -> None:
+        self.fs = fs
+        self.output_dir = output_dir
+
+    @abc.abstractmethod
+    def setup_job(self) -> None:
+        """Prepare the output directory before any reducer runs."""
+
+    @abc.abstractmethod
+    def open_task_output(self, partition: int, attempt: int) -> OutputStream:
+        """The stream reducer *partition* (attempt *attempt*) writes to."""
+
+    @abc.abstractmethod
+    def commit_task(self, partition: int, attempt: int) -> str:
+        """Make the task's output final; returns the committed path."""
+
+    @abc.abstractmethod
+    def abort_task(self, partition: int, attempt: int) -> None:
+        """Discard a failed attempt's partial output."""
+
+    @abc.abstractmethod
+    def cleanup_job(self) -> None:
+        """Remove scratch state after the last commit."""
+
+    @abc.abstractmethod
+    def output_files(self) -> List[str]:
+        """The committed output paths, sorted."""
+
+
+class SeparateFileCommitter(OutputCommitter):
+    """Original Hadoop: temp file per attempt, commit-by-rename."""
+
+    TEMP_DIR = "_temporary"
+
+    def setup_job(self) -> None:
+        self.fs.mkdirs(self.output_dir)
+        self.fs.mkdirs(self._temp_dir())
+
+    def _temp_dir(self) -> str:
+        return join_path(self.output_dir, self.TEMP_DIR)
+
+    def _temp_path(self, partition: int, attempt: int) -> str:
+        # unique name per attempt, as in Hadoop's attempt directories
+        return join_path(
+            self._temp_dir(), f"attempt_{partition:05d}_{attempt}", "part"
+        )
+
+    def _final_path(self, partition: int) -> str:
+        return join_path(self.output_dir, f"part-{partition:05d}")
+
+    def open_task_output(self, partition: int, attempt: int) -> OutputStream:
+        return self.fs.create(self._temp_path(partition, attempt), overwrite=True)
+
+    def commit_task(self, partition: int, attempt: int) -> str:
+        final = self._final_path(partition)
+        self.fs.rename(self._temp_path(partition, attempt), final)
+        return final
+
+    def abort_task(self, partition: int, attempt: int) -> None:
+        self.fs.delete(
+            join_path(self._temp_dir(), f"attempt_{partition:05d}_{attempt}"),
+            recursive=True,
+        )
+
+    def cleanup_job(self) -> None:
+        self.fs.delete(self._temp_dir(), recursive=True)
+
+    def output_files(self) -> List[str]:
+        return sorted(
+            s.path
+            for s in self.fs.list_dir(self.output_dir)
+            if not s.is_directory and s.path.rsplit("/", 1)[-1].startswith("part-")
+        )
+
+
+class SharedAppendCommitter(OutputCommitter):
+    """Modified Hadoop: all reducers append to one shared output file.
+
+    The shared file is created once at job setup; each reducer's stream
+    is an append stream on it. Commit is a no-op — the data is already
+    in its final place the moment the appends complete, which is exactly
+    the simplification the paper highlights ("at the end of the
+    computation data is already available in a single logical file").
+
+    Failure containment: a reducer buffers its whole output client-side
+    (the BSFS write-behind cache) and only the stream's flush/close emits
+    appends; :meth:`abort_task` before that point discards the buffer, so
+    a failed attempt contributes nothing to the shared file.
+    """
+
+    SHARED_NAME = "part-shared"
+
+    def __init__(self, fs: FileSystem, output_dir: str) -> None:
+        super().__init__(fs, output_dir)
+        self._lock = threading.Lock()
+
+    def setup_job(self) -> None:
+        self.fs.mkdirs(self.output_dir)
+        # create the (empty) shared file all reducers will append to
+        self.fs.create(self.shared_path(), overwrite=True).close()
+
+    def shared_path(self) -> str:
+        """Path of the single shared output file."""
+        return join_path(self.output_dir, self.SHARED_NAME)
+
+    def open_task_output(self, partition: int, attempt: int) -> OutputStream:
+        return self.fs.append(self.shared_path())
+
+    def commit_task(self, partition: int, attempt: int) -> str:
+        return self.shared_path()
+
+    def abort_task(self, partition: int, attempt: int) -> None:
+        # nothing was appended: output streams buffer until close
+        return
+
+    def cleanup_job(self) -> None:
+        return
+
+    def output_files(self) -> List[str]:
+        return [self.shared_path()]
+
+
+def make_committer(mode: str, fs: FileSystem, output_dir: str) -> OutputCommitter:
+    """Committer factory keyed by :attr:`JobConf.output_mode`."""
+    if mode == "separate":
+        return SeparateFileCommitter(fs, output_dir)
+    if mode == "shared":
+        return SharedAppendCommitter(fs, output_dir)
+    raise ValueError(f"unknown output mode {mode!r}")

@@ -1,0 +1,182 @@
+"""Input formats: splitting files and reading records from splits.
+
+Faithful to Hadoop's ``TextInputFormat`` semantics:
+
+* splits are block-sized byte ranges annotated with the hosts storing
+  them (from :meth:`~repro.common.fs.FileSystem.get_block_locations`),
+  which is what the locality-aware scheduler consumes;
+* a record (line) belongs to the split in which it *starts*: a reader
+  skips the first partial line (unless at offset 0) and reads past its
+  split's end to finish the last line it started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ...common.fs import FileSystem, InputStream
+
+#: readers scan in pieces of this size
+_IO_CHUNK = 256 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class FileSplit:
+    """One map task's slice of one input file."""
+
+    path: str
+    offset: int
+    length: int
+    hosts: Tuple[str, ...] = ()
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+def compute_splits(
+    fs: FileSystem,
+    paths: List[str],
+    split_size: Optional[int] = None,
+) -> List[FileSplit]:
+    """Block-aligned splits for every input file, with storage hosts.
+
+    *split_size* defaults to each file's block size (so "the Hadoop
+    framework starts a mapper to process each input chunk").
+    """
+    splits: List[FileSplit] = []
+    for path in paths:
+        status = fs.get_status(path)
+        if status.is_directory:
+            children = [s.path for s in fs.list_dir(path) if not s.is_directory]
+            splits.extend(compute_splits(fs, children, split_size))
+            continue
+        if status.size == 0:
+            continue
+        size = split_size or status.block_size or status.size
+        if size <= 0:
+            size = status.size
+        locations = fs.get_block_locations(path, 0, status.size)
+        offset = 0
+        while offset < status.size:
+            length = min(size, status.size - offset)
+            hosts = _hosts_for_range(locations, offset, length)
+            splits.append(FileSplit(path, offset, length, hosts))
+            offset += length
+    return splits
+
+
+def _hosts_for_range(locations, offset: int, length: int) -> Tuple[str, ...]:
+    """Hosts storing the block(s) overlapping the split, majority first."""
+    tally: dict[str, int] = {}
+    for loc in locations:
+        if loc.offset + loc.length > offset and loc.offset < offset + length:
+            overlap = min(loc.offset + loc.length, offset + length) - max(
+                loc.offset, offset
+            )
+            for host in loc.hosts:
+                tally[host] = tally.get(host, 0) + overlap
+    ordered = sorted(tally.items(), key=lambda kv: (-kv[1], kv[0]))
+    return tuple(host for host, _n in ordered)
+
+
+class LineRecordReader:
+    """Iterate the lines belonging to one split (Hadoop line semantics).
+
+    Yields ``(byte_offset, line_without_newline)`` pairs — the key/value
+    contract of ``TextInputFormat``.
+    """
+
+    def __init__(self, fs: FileSystem, split: FileSplit) -> None:
+        self.fs = fs
+        self.split = split
+
+    def __iter__(self) -> Iterator[Tuple[int, bytes]]:
+        split = self.split
+        with self.fs.open(split.path) as stream:
+            pos = split.offset
+            if split.offset > 0:
+                # skip the partial first line: it belongs to the previous split
+                skipped = _scan_past_newline(stream, split.offset)
+                if skipped is None:
+                    return  # no newline until EOF: nothing starts here
+                pos = skipped
+            # Hadoop's boundary rule: keep reading while the next line
+            # STARTS at or before the split end (pos <= end). A line
+            # starting exactly at the boundary therefore belongs to the
+            # earlier split — matching the skip rule above, so no line is
+            # lost or read twice.
+            while pos <= split.end:
+                line_start = pos
+                line, pos = _read_line(stream, pos)
+                if line is None:
+                    return  # EOF
+                yield line_start, line
+
+
+def _scan_past_newline(stream: InputStream, offset: int) -> Optional[int]:
+    """Position of the first byte after the first ``\\n`` at/after *offset*;
+    None when the file ends first."""
+    pos = offset
+    while True:
+        piece = stream.pread(pos, _IO_CHUNK)
+        if not piece:
+            return None
+        nl = piece.find(b"\n")
+        if nl >= 0:
+            return pos + nl + 1
+        pos += len(piece)
+
+
+def _read_line(
+    stream: InputStream, offset: int
+) -> Tuple[Optional[bytes], int]:
+    """The line starting at *offset* (without its newline) and the offset
+    just past it. ``(None, offset)`` at EOF; a trailing line without a
+    final newline is returned as-is."""
+    parts: List[bytes] = []
+    pos = offset
+    while True:
+        piece = stream.pread(pos, _IO_CHUNK)
+        if not piece:
+            if parts:
+                line = b"".join(parts)
+                return line, pos
+            return None, pos
+        nl = piece.find(b"\n")
+        if nl >= 0:
+            parts.append(piece[:nl])
+            return b"".join(parts), pos + nl + 1
+        parts.append(piece)
+        pos += len(piece)
+
+
+class KeyValueLineRecordReader:
+    """Tab-separated key/value lines (Hadoop's ``KeyValueTextInputFormat``).
+
+    Yields ``(key, value)`` byte pairs; a line without a tab yields the
+    whole line as key and ``b""`` as value.
+    """
+
+    def __init__(self, fs: FileSystem, split: FileSplit) -> None:
+        self._inner = LineRecordReader(fs, split)
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        for _offset, line in self._inner:
+            tab = line.find(b"\t")
+            if tab < 0:
+                yield line, b""
+            else:
+                yield line[:tab], line[tab + 1 :]
+
+
+def make_record_reader(
+    fs: FileSystem, split: FileSplit, input_format: str
+):
+    """Reader factory keyed by :attr:`JobConf.input_format`."""
+    if input_format == "text":
+        return LineRecordReader(fs, split)
+    if input_format == "kv":
+        return KeyValueLineRecordReader(fs, split)
+    raise ValueError(f"unknown input format {input_format!r}")

@@ -1,0 +1,40 @@
+"""Record writers: how reduce output becomes file bytes.
+
+``TextRecordWriter`` is Hadoop's ``TextOutputFormat``: one
+``key<TAB>value<NEWLINE>`` line per emitted pair. Keys/values may be
+``bytes``, ``str`` or anything ``str()``-able.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...common.fs import OutputStream
+
+
+def to_bytes(obj: Any) -> bytes:
+    """Canonical byte form of a key or value."""
+    if isinstance(obj, bytes):
+        return obj
+    if isinstance(obj, str):
+        return obj.encode()
+    return str(obj).encode()
+
+
+class TextRecordWriter:
+    """``key \\t value \\n`` writer over any output stream."""
+
+    def __init__(self, stream: OutputStream) -> None:
+        self.stream = stream
+        #: lifetime counters
+        self.records = 0
+        self.bytes_written = 0
+
+    def write(self, key: Any, value: Any) -> None:
+        line = to_bytes(key) + b"\t" + to_bytes(value) + b"\n"
+        self.stream.write(line)
+        self.records += 1
+        self.bytes_written += len(line)
+
+    def close(self) -> None:
+        self.stream.close()

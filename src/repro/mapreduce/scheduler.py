@@ -1,0 +1,44 @@
+"""Task scheduling policy.
+
+The paper's framework: the storage layer "provides the information about
+the location of each chunk, and the jobtracker will use it to execute
+tasks on datanodes in such way as to achieve load balancing across all
+nodes" — i.e. prefer a map task whose split is stored on the requesting
+tasktracker's machine, fall back to any pending task. Reduce tasks have
+no input locality (their input is the shuffled map output) and are
+handed out FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .task import MapTaskInfo, ReduceTaskInfo, TaskState
+
+
+def pick_map_task(
+    tasks: List[MapTaskInfo], host: str, locality_aware: bool
+) -> Optional[MapTaskInfo]:
+    """The next map task for a tasktracker on *host*.
+
+    With locality on, a task whose split is stored on *host* wins;
+    otherwise (or when none is local) the first pending task is chosen.
+    Returns None when nothing is pending.
+    """
+    fallback: Optional[MapTaskInfo] = None
+    for task in tasks:
+        if task.state is not TaskState.PENDING:
+            continue
+        if locality_aware and host in task.split.hosts:
+            return task
+        if fallback is None:
+            fallback = task
+    return fallback
+
+
+def pick_reduce_task(tasks: List[ReduceTaskInfo]) -> Optional[ReduceTaskInfo]:
+    """The next pending reduce task (FIFO)."""
+    for task in tasks:
+        if task.state is TaskState.PENDING:
+            return task
+    return None

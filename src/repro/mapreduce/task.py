@@ -1,0 +1,44 @@
+"""Task model: the units of work the jobtracker hands to tasktrackers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .io.input import FileSplit
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task as the jobtracker sees it."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass(slots=True)
+class MapTaskInfo:
+    """One map task: process one input split."""
+
+    task_id: int
+    split: FileSplit
+    state: TaskState = TaskState.PENDING
+    attempts: int = 0
+    assigned_to: Optional[str] = None
+    #: whether the winning attempt ran on a host storing the split (locality)
+    data_local: bool = False
+
+
+@dataclass(slots=True)
+class ReduceTaskInfo:
+    """One reduce task: merge one partition of every map output."""
+
+    task_id: int
+    partition: int
+    state: TaskState = TaskState.PENDING
+    attempts: int = 0
+    assigned_to: Optional[str] = None
+    #: the output file this reducer produced (committed path)
+    output_path: Optional[str] = None

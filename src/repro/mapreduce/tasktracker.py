@@ -1,0 +1,159 @@
+"""Tasktrackers: slot-bounded task execution.
+
+One tasktracker per machine, each with a fixed number of map slots and
+reduce slots (worker threads). Workers pull tasks from the
+:class:`~repro.mapreduce.jobtracker.JobInProgress`, execute them against
+the shared file system, and report success/failure; failed attempts are
+retried by the jobtracker up to the configured attempt budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..common.fs import FileSystem
+from .io.input import make_record_reader
+from .io.records import TextRecordWriter
+from .job import Context
+from .jobtracker import JobInProgress
+from .shuffle import merge_sorted_partitions, partition_and_sort
+from .task import MapTaskInfo, ReduceTaskInfo
+
+#: idle workers poll the jobtracker at this interval (seconds)
+_POLL_INTERVAL = 0.002
+
+
+def execute_map_task(
+    fs: FileSystem, jip: JobInProgress, task: MapTaskInfo
+) -> None:
+    """Run one map attempt: read the split, apply map, partition/sort,
+    park the output in the shuffle store."""
+    conf = jip.conf
+    counters = jip.counters
+    pairs: list = []
+    ctx = Context(counters)
+    ctx._bind(lambda k, v: pairs.append((k, v)))
+    ctx.split = task.split
+    reader = make_record_reader(fs, task.split, conf.input_format)
+    n_records = 0
+    for key, value in reader:
+        conf.map_fn(key, value, ctx)
+        n_records += 1
+    counters.increment("map_input_records", n_records)
+    counters.increment("map_output_records", len(pairs))
+    partitions = partition_and_sort(
+        pairs, conf.partitioner, conf.n_reducers, conf.combiner_fn, counters
+    )
+    for p, bucket in partitions.items():
+        jip.map_outputs.put(task.task_id, p, bucket)
+
+
+def execute_reduce_task(
+    fs: FileSystem, jip: JobInProgress, task: ReduceTaskInfo
+) -> str:
+    """Run one reduce attempt: fetch + merge the partition, apply reduce,
+    write through the committer; returns the committed output path."""
+    conf = jip.conf
+    counters = jip.counters
+    partitions = [
+        jip.map_outputs.get(m.task_id, task.partition) for m in jip.map_tasks
+    ]
+    stream = jip.committer.open_task_output(task.partition, task.attempts)
+    writer = TextRecordWriter(stream)
+    ctx = Context(counters)
+    ctx._bind(writer.write)
+    try:
+        n_groups = 0
+        for key, values in merge_sorted_partitions(partitions):
+            conf.reduce_fn(key, values, ctx)
+            n_groups += 1
+        writer.close()
+    except BaseException:
+        # abandon without publishing buffered output
+        try:
+            stream.discard()
+        except Exception:
+            pass
+        raise
+    counters.increment("reduce_input_groups", n_groups)
+    counters.increment("reduce_output_records", writer.records)
+    counters.increment("reduce_output_bytes", writer.bytes_written)
+    return jip.committer.commit_task(task.partition, task.attempts)
+
+
+class TaskTracker:
+    """One machine's worth of task slots, pulling from one job at a time."""
+
+    def __init__(
+        self,
+        host: str,
+        fs: FileSystem,
+        map_slots: int,
+        reduce_slots: int,
+    ) -> None:
+        if map_slots < 1 or reduce_slots < 1:
+            raise ValueError("slot counts must be >= 1")
+        self.host = host
+        self.fs = fs
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        #: lifetime counters
+        self.maps_run = 0
+        self.reduces_run = 0
+
+    def run_job(self, jip: JobInProgress) -> list[threading.Thread]:
+        """Spawn this tracker's worker threads for one job; returns them
+        (the caller joins)."""
+        threads = [
+            threading.Thread(
+                target=self._map_worker,
+                args=(jip,),
+                name=f"{self.host}-map-{i}",
+                daemon=True,
+            )
+            for i in range(self.map_slots)
+        ] + [
+            threading.Thread(
+                target=self._reduce_worker,
+                args=(jip,),
+                name=f"{self.host}-reduce-{i}",
+                daemon=True,
+            )
+            for i in range(self.reduce_slots)
+        ]
+        for t in threads:
+            t.start()
+        return threads
+
+    def _map_worker(self, jip: JobInProgress) -> None:
+        while not jip.is_complete:
+            task = jip.next_map_task(self.host)
+            if task is None:
+                if jip.maps_done:
+                    return
+                time.sleep(_POLL_INTERVAL)
+                continue
+            try:
+                execute_map_task(self.fs, jip, task)
+            except Exception as exc:
+                jip.map_failed(task, exc)
+            else:
+                jip.map_succeeded(task)
+                self.maps_run += 1
+
+    def _reduce_worker(self, jip: JobInProgress) -> None:
+        while not jip.is_complete:
+            task = jip.next_reduce_task(self.host)
+            if task is None:
+                time.sleep(_POLL_INTERVAL)
+                continue
+            try:
+                path = execute_reduce_task(self.fs, jip, task)
+            except Exception as exc:
+                jip.committer.abort_task(task.partition, task.attempts)
+                jip.reduce_failed(task, exc)
+            else:
+                jip.reduce_succeeded(task, path)
+                self.reduces_run += 1

@@ -1,0 +1,38 @@
+"""Discrete-event cluster simulator: the stand-in for the Grid'5000
+testbed on which the paper's evaluation ran."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from .resources import Lock, Request, Resource, Store
+from .network import Network, NetNode
+from .disk import Disk
+from .cluster import SimCluster, SimNode
+from .metrics import Metrics, OpSample
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Lock",
+    "Request",
+    "Resource",
+    "Store",
+    "Network",
+    "NetNode",
+    "Disk",
+    "SimCluster",
+    "SimNode",
+    "Metrics",
+    "OpSample",
+]

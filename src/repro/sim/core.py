@@ -1,0 +1,361 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free process-based DES in the style of SimPy:
+*processes* are Python generators that ``yield`` events (timeouts, other
+processes, resource requests, …) and are resumed when those events fire.
+The kernel is deterministic: events scheduled at the same instant fire in
+scheduling order.
+
+The kernel is the substrate for the performance runtime — BlobSeer,
+HDFS and the Map/Reduce framework all run as simulated processes on a
+modeled cluster (see :mod:`repro.sim.network`, :mod:`repro.sim.disk`,
+:mod:`repro.sim.cluster`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..common.errors import InterruptedProcessError, SimDeadlockError
+
+#: type of the generators that implement simulated processes
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* when given a value (or failure), and
+    *processed* once the kernel has run its callbacks. Waiting on an
+    already-processed event resumes the waiter immediately (next step).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "triggered", "processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self.triggered = False
+        self.processed = False
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self.triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see *exception* raised."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self.triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the failure exception)."""
+        if not self.triggered:
+            raise RuntimeError("event value read before trigger")
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires *delay* simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Interruption(Event):
+    """Internal event used to deliver an interrupt into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        self.process = process
+        self.triggered = True
+        self._ok = False
+        self._value = InterruptedProcessError(cause)
+        self.env._schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running simulated process; also an event that fires at its return.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    sleeps until each fires, then is resumed with the event's value (or
+    has the event's exception thrown into it).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # bootstrap: resume the generator at t=now via an initial event
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptedProcessError` into the process.
+
+        Used by failure-injection tests to kill providers mid-transfer.
+        Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        Interruption(self, cause).callbacks.append(self._deliver_interrupt)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # detach from whatever we were waiting for
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.processed:
+            # already fired: resume on the next kernel step
+            immediate = Event(self.env)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate.triggered = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Waits for all (or any) of a set of events.
+
+    Succeeds with a list of the values of the events that had fired by
+    trigger time, in the order the events were given. Fails as soon as
+    any constituent fails.
+    """
+
+    __slots__ = ("events", "need", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need: int) -> None:
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        if need < 0 or need > len(self.events):
+            raise ValueError(f"need={need} out of range for {len(self.events)} events")
+        self.need = need
+        self._done = 0
+        if need == 0 or not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_fire(ev)
+                if self.triggered:
+                    return
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done >= self.need:
+            values = [ev._value for ev in self.events if ev.triggered and ev._ok]
+            self.succeed(values)
+
+
+class AllOf(Condition):
+    """Fires when every constituent event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(env, events, need=len(events))
+
+
+class AnyOf(Condition):
+    """Fires when at least one constituent event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(env, events, need=min(1, len(events)))
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Process | None = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._eid, event))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run *callback* at absolute simulated time *when*; returns the
+        event so callers can also wait on it."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        ev = Timeout(self, when - self.now)
+        ev.callbacks.append(lambda _ev: callback())
+        return ev
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a process from a generator; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing once every event in *events* has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing once any event in *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event.processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event._ok and not isinstance(event, Interruption):
+            # an unwaited-for failure must not pass silently
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the queue drains.
+        * ``until=<float>`` — run until simulated time reaches the value.
+        * ``until=<Event>`` — run until that event is processed, returning
+          its value (raising its exception if it failed); raises
+          :class:`SimDeadlockError` if the queue drains first.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimDeadlockError(
+                        f"event queue drained before {target!r} fired"
+                    )
+                self.step()
+            if not target._ok:
+                raise target._value
+            return target._value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self.now:
+            raise ValueError(f"until={horizon} is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None between steps)."""
+        return self._active_process

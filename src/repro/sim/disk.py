@@ -1,0 +1,96 @@
+"""Disk service model.
+
+Each simulated machine owns one disk with separate sustained read and
+write bandwidths, served first-come-first-served (a single spindle /
+single write stream, matching the commodity SATA disks of the Orsay
+cluster). Reads optionally hit the OS page cache with a configurable
+probability, in which case they bypass the spindle entirely — this is
+how a 270-node run keeps read throughput above raw-disk speed, exactly
+as on the real testbed where recently appended pages are still resident.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..common.units import GiB
+from .core import Environment, Event
+from .resources import Resource
+
+
+class Disk:
+    """One FCFS disk with distinct read/write bandwidths."""
+
+    #: service rate of a page-cache hit (memory copy), bytes/s
+    CACHE_BANDWIDTH = 3.0 * GiB
+
+    def __init__(
+        self,
+        env: Environment,
+        read_bandwidth: float,
+        write_bandwidth: float,
+        cache_hit_ratio: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if read_bandwidth <= 0 or write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not (0.0 <= cache_hit_ratio <= 1.0):
+            raise ValueError("cache_hit_ratio must be in [0, 1]")
+        self.env = env
+        self.read_bandwidth = read_bandwidth
+        self.write_bandwidth = write_bandwidth
+        self.cache_hit_ratio = cache_hit_ratio
+        self.rng = rng or np.random.default_rng(0)
+        self._spindle = Resource(env, capacity=1)
+        #: lifetime counters
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def write(self, nbytes: int) -> Event:
+        """Persist *nbytes*; the returned event fires when on disk."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.env.process(self._write_proc(nbytes), name="disk-write")
+
+    def read(self, nbytes: int) -> Event:
+        """Fetch *nbytes*; may be served from the page cache."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.env.process(self._read_proc(nbytes), name="disk-read")
+
+    # -- processes -----------------------------------------------------------
+
+    def _write_proc(self, nbytes: int) -> Generator[Event, Any, None]:
+        req = yield self._spindle.request()
+        try:
+            yield self.env.timeout(nbytes / self.write_bandwidth)
+            self.bytes_written += nbytes
+        finally:
+            self._spindle.release(req)
+
+    def _read_proc(self, nbytes: int) -> Generator[Event, Any, None]:
+        if nbytes == 0:
+            return
+        if self.rng.random() < self.cache_hit_ratio:
+            self.cache_hits += 1
+            yield self.env.timeout(nbytes / self.CACHE_BANDWIDTH)
+            self.bytes_read += nbytes
+            return
+        self.cache_misses += 1
+        req = yield self._spindle.request()
+        try:
+            yield self.env.timeout(nbytes / self.read_bandwidth)
+            self.bytes_read += nbytes
+        finally:
+            self._spindle.release(req)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for the spindle."""
+        return self._spindle.queue_length

@@ -1,0 +1,301 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Each node owns an egress ("up") and ingress ("down") NIC capacity; an
+optional backbone capacity models a blocking fabric. A *transfer* is a
+fluid flow from one node to another: concurrent flows share the NICs
+according to the classic progressive-filling (max-min fair) allocation,
+which is the standard fluid approximation of many TCP streams over a
+switched Ethernet — the regime of the paper's Grid'5000 Orsay cluster.
+
+Rates are recomputed whenever a flow starts or finishes, so a run is a
+sequence of fluid intervals with piecewise-constant rates. Transfers
+within one node (client co-located with a provider) bypass the NICs at a
+fixed loopback bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set
+
+from ..common.units import GiB
+from .core import Environment, Event
+
+#: flows whose remaining volume drops below this many bytes are complete
+_EPSILON_BYTES = 1e-3
+
+
+@dataclass(slots=True)
+class NetNode:
+    """One machine's attachment point: egress/ingress NIC capacities."""
+
+    name: str
+    up_capacity: float
+    down_capacity: float
+    #: lifetime counters, for metrics/debugging
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.up_capacity <= 0 or self.down_capacity <= 0:
+            raise ValueError(f"capacities must be positive on {self.name!r}")
+
+
+@dataclass(slots=True)
+class _Flow:
+    fid: int
+    src: NetNode
+    dst: NetNode
+    remaining: float
+    event: Event
+    local: bool
+    rate: float = 0.0
+
+
+class Network:
+    """The set of nodes plus the active-flow scheduler."""
+
+    #: bandwidth of a src==dst transfer (memory copy), bytes/s
+    LOOPBACK_BANDWIDTH = 4.0 * GiB
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float = 0.0,
+        backbone_bandwidth: float = 0.0,
+        flow_rate_cap: float = 0.0,
+    ) -> None:
+        """*backbone_bandwidth* of 0 means a non-blocking fabric;
+        *flow_rate_cap* of 0 means flows are limited only by the NICs
+        (a positive value models the per-connection ceiling of the
+        endpoints' I/O stacks)."""
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if backbone_bandwidth < 0:
+            raise ValueError("backbone_bandwidth must be non-negative")
+        if flow_rate_cap < 0:
+            raise ValueError("flow_rate_cap must be non-negative")
+        self.env = env
+        self.latency = latency
+        self.backbone_bandwidth = backbone_bandwidth
+        self.flow_rate_cap = flow_rate_cap
+        self.nodes: Dict[str, NetNode] = {}
+        self._flows: Dict[int, _Flow] = {}
+        self._fid = itertools.count()
+        self._last_update = 0.0
+        self._timer_generation = 0
+        #: lifetime counter of completed transfers
+        self.completed_transfers = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        bandwidth: float | None = None,
+        up: float | None = None,
+        down: float | None = None,
+    ) -> NetNode:
+        """Register a node. Give either a symmetric *bandwidth* or
+        explicit *up*/*down* capacities."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        if bandwidth is not None:
+            up = down = bandwidth
+        if up is None or down is None:
+            raise ValueError("specify bandwidth= or both up= and down=")
+        node = NetNode(name, up, down)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> NetNode:
+        """Look up a node by name."""
+        return self.nodes[name]
+
+    # -- transfers ----------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Move *nbytes* from *src* to *dst*; the event fires on completion.
+
+        Zero-byte transfers still pay one network latency (they model an
+        RPC with an empty payload).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        src_node = self.nodes[src]
+        dst_node = self.nodes[dst]
+        done = Event(self.env)
+        if nbytes == 0:
+            # latency-only RPC
+            t = self.env.timeout(self.latency)
+            t.callbacks.append(lambda _ev: done.succeed(0.0))
+            return done
+        if self.latency > 0:
+            t = self.env.timeout(self.latency)
+            t.callbacks.append(lambda _ev: self._start_flow(src_node, dst_node, nbytes, done))
+        else:
+            self._start_flow(src_node, dst_node, nbytes, done)
+        return done
+
+    def rpc(self, src: str, dst: str) -> Event:
+        """A latency-only round trip (request + reply), no payload."""
+        done = Event(self.env)
+        t = self.env.timeout(2 * self.latency)
+        t.callbacks.append(lambda _ev: done.succeed(None))
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _start_flow(
+        self, src: NetNode, dst: NetNode, nbytes: float, done: Event
+    ) -> None:
+        self._advance()
+        flow = _Flow(
+            fid=next(self._fid),
+            src=src,
+            dst=dst,
+            remaining=float(nbytes),
+            event=done,
+            local=(src is dst),
+        )
+        self._flows[flow.fid] = flow
+        self._reallocate_and_arm()
+
+    def _advance(self) -> None:
+        """Account fluid progress since the last rate change."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        finished: List[_Flow] = []
+        for flow in self._flows.values():
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            flow.src.bytes_sent += moved
+            flow.dst.bytes_received += moved
+            if flow.remaining <= _EPSILON_BYTES:
+                finished.append(flow)
+        for flow in finished:
+            del self._flows[flow.fid]
+            self.completed_transfers += 1
+            flow.event.succeed(self.env.now)
+
+    def _reallocate_and_arm(self) -> None:
+        """Recompute max-min fair rates and arm the next-completion timer."""
+        self._compute_rates()
+        self._timer_generation += 1
+        generation = self._timer_generation
+        horizon = min(
+            (f.remaining / f.rate for f in self._flows.values() if f.rate > 0),
+            default=None,
+        )
+        if horizon is None:
+            return
+        timer = self.env.timeout(horizon)
+        timer.callbacks.append(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a newer rate change
+        self._advance()
+        self._reallocate_and_arm()
+
+    def _compute_rates(self) -> None:
+        """Progressive-filling max-min fair allocation over NIC capacities,
+        with an optional per-flow rate cap.
+
+        Every non-local flow consumes its source's up-capacity, its
+        destination's down-capacity, and (when configured) the shared
+        backbone; a flow additionally freezes once it reaches the
+        per-flow cap. Local flows run at the loopback bandwidth.
+        """
+        unfrozen: Set[int] = set()
+        for flow in self._flows.values():
+            if flow.local:
+                flow.rate = self.LOOPBACK_BANDWIDTH
+                if self.flow_rate_cap > 0:
+                    flow.rate = min(flow.rate, self.flow_rate_cap)
+            else:
+                flow.rate = 0.0
+                unfrozen.add(flow.fid)
+        if not unfrozen:
+            return
+
+        # node-direction resources: (node-name, "up"/"down") plus backbone
+        cap: Dict[Hashable, float] = {}
+        members: Dict[Hashable, Set[int]] = {}
+
+        def register(key: Hashable, capacity: float, fid: int) -> None:
+            if key not in cap:
+                cap[key] = capacity
+                members[key] = set()
+            members[key].add(fid)
+
+        for fid in unfrozen:
+            flow = self._flows[fid]
+            register((flow.src.name, "up"), flow.src.up_capacity, fid)
+            register((flow.dst.name, "down"), flow.dst.down_capacity, fid)
+            if self.backbone_bandwidth > 0:
+                register(("__backbone__", None), self.backbone_bandwidth, fid)
+
+        def flow_keys(flow: _Flow):
+            yield (flow.src.name, "up")
+            yield (flow.dst.name, "down")
+            if self.backbone_bandwidth > 0:
+                yield ("__backbone__", None)
+
+        while unfrozen:
+            # fair-share increment is set by the most contended resource …
+            share = min(cap[key] / len(m) for key, m in members.items() if m)
+            # … unless some flow hits its cap first
+            headroom = share
+            if self.flow_rate_cap > 0:
+                headroom = min(
+                    self.flow_rate_cap - self._flows[fid].rate for fid in unfrozen
+                )
+                headroom = min(share, max(headroom, 0.0))
+            for fid in unfrozen:
+                flow = self._flows[fid]
+                flow.rate += headroom
+                for key in flow_keys(flow):
+                    cap[key] -= headroom
+            frozen_now: Set[int] = set()
+            if headroom >= share * (1 - 1e-12):
+                # a resource saturated: freeze every flow through it
+                for key, m in members.items():
+                    if m and cap[key] / len(m) <= share * 1e-9:
+                        frozen_now |= m
+            if self.flow_rate_cap > 0:
+                frozen_now |= {
+                    fid
+                    for fid in unfrozen
+                    if self._flows[fid].rate >= self.flow_rate_cap * (1 - 1e-12)
+                }
+            if not frozen_now:  # pragma: no cover - defensive against fp drift
+                frozen_now = set(unfrozen)
+            for fid in frozen_now:
+                flow = self._flows.get(fid)
+                if flow is None:
+                    continue
+                for key in flow_keys(flow):
+                    m = members.get(key)
+                    if m is not None:
+                        m.discard(fid)
+            unfrozen -= frozen_now
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    def current_rate(self, src: str, dst: str) -> float:
+        """Aggregate current rate of all flows from *src* to *dst* (B/s)."""
+        return sum(
+            f.rate
+            for f in self._flows.values()
+            if f.src.name == src and f.dst.name == dst
+        )

@@ -1,0 +1,130 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — a counted resource with FIFO admission (e.g. RPC
+  handler threads at the version manager, reducer slots).
+* :class:`Lock` — a convenience one-slot resource (mutual exclusion),
+  used by the locking-append ablation.
+* :class:`Store` — an unbounded FIFO of items (message queues between
+  simulated components).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from .core import Environment, Event
+
+
+class Request(Event):
+    """Admission ticket for a :class:`Resource`; fires when granted.
+
+    Use as ``yield res.request()`` inside a process, and pass the request
+    back to :meth:`Resource.release` when done (or use :meth:`Resource.held`
+    as a generator-based context).
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: Deque[Request] = deque()
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event fires on grant."""
+        req = Request(self)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the unit held by *request*; admits the next waiter."""
+        if request.resource is not self:
+            raise ValueError("request belongs to a different resource")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed(nxt)
+        else:
+            if self.in_use <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("release without matching request")
+            self.in_use -= 1
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request from the queue."""
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for admission."""
+        return len(self._waiting)
+
+    def held(self, work: Generator[Event, Any, Any]) -> Generator[Event, Any, Any]:
+        """Run *work* (a process generator) while holding one unit.
+
+        Usage: ``result = yield env.process(res.held(body()))``. The unit
+        is released even if *work* raises.
+        """
+        req = yield self.request()
+        try:
+            result = yield self.env.process(work)
+        finally:
+            self.release(req)
+        return result
+
+
+class Lock(Resource):
+    """One-slot resource: plain mutual exclusion."""
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env, capacity=1)
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (the store is unbounded); ``get`` returns an
+    event that fires with the oldest item once one is available. Getters
+    are served FIFO.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event firing with the next item (immediately if available)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

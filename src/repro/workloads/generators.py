@@ -1,0 +1,65 @@
+"""Generic workload generators for tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..common.fs import FileSystem
+from ..common.rng import substream
+
+_WORDS = (
+    b"data", b"append", b"chunk", b"page", b"version", b"reduce", b"map",
+    b"blob", b"file", b"node", b"grid", b"cloud", b"stream", b"record",
+    b"key", b"value", b"shuffle", b"merge", b"commit", b"publish",
+)
+
+
+def text_corpus(n_bytes: int, seed: int = 0, line_words: int = 8) -> bytes:
+    """Deterministic whitespace-tokenized text of ~*n_bytes* bytes."""
+    if n_bytes <= 0:
+        raise ValueError("n_bytes must be positive")
+    rng = substream(seed, "text-corpus")
+    out = bytearray()
+    while len(out) < n_bytes:
+        idx = rng.integers(0, len(_WORDS), size=line_words)
+        out += b" ".join(_WORDS[int(i)] for i in idx) + b"\n"
+    return bytes(out[:n_bytes].rsplit(b"\n", 1)[0] + b"\n")
+
+
+def kv_corpus(
+    n_records: int, key_space: int = 100, seed: int = 0
+) -> bytes:
+    """Tab-separated key/value lines with repeated keys (join fodder)."""
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    rng = substream(seed, "kv-corpus")
+    keys = rng.integers(0, key_space, size=n_records)
+    vals = rng.integers(0, 10**6, size=n_records)
+    lines = [
+        b"k%05d\tv%06d" % (int(keys[i]), int(vals[i])) for i in range(n_records)
+    ]
+    return b"\n".join(lines) + (b"\n" if lines else b"")
+
+
+def random_keys_corpus(n_records: int, seed: int = 0) -> bytes:
+    """Tab-separated records with (mostly) unique random keys, for sort."""
+    rng = substream(seed, "sort-corpus")
+    keys = rng.integers(0, 2**40, size=n_records)
+    return b"".join(
+        b"%012d\trow%06d\n" % (int(keys[i]), i) for i in range(n_records)
+    )
+
+
+def write_corpus_files(
+    fs: FileSystem, base_dir: str, n_files: int, bytes_per_file: int, seed: int = 0
+) -> List[str]:
+    """Write *n_files* text files under *base_dir*; returns their paths."""
+    fs.mkdirs(base_dir)
+    paths = []
+    for i in range(n_files):
+        path = f"{base_dir.rstrip('/')}/input-{i:04d}.txt"
+        fs.write_all(path, text_corpus(bytes_per_file, seed=seed + i))
+        paths.append(path)
+    return paths

@@ -1,0 +1,70 @@
+"""Distributed grep and total-order sort."""
+
+import re
+
+from repro.apps import make_sort_conf, run_grep, run_sort
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig
+from repro.mapreduce import MapReduceCluster
+from repro.workloads import random_keys_corpus
+
+
+def make_env():
+    dep = BSFS(config=BlobSeerConfig(page_size=4096, metadata_providers=2),
+               n_providers=4)
+    fs = dep.file_system()
+    mr = MapReduceCluster(fs, hosts=[f"provider-{i:03d}" for i in range(4)])
+    return fs, mr
+
+
+class TestGrep:
+    def test_counts_matches(self):
+        fs, mr = make_env()
+        fs.write_all("/in/log", b"ERROR disk\nok\nERROR net\nwarn ERROR\n" * 25)
+        result = run_grep(mr, rb"ERROR", ["/in/log"], "/out")
+        data = b"".join(fs.read_all(p) for p in result.output_files)
+        assert data == b"ERROR\t75\n"
+
+    def test_regex_groups(self):
+        fs, mr = make_env()
+        fs.write_all("/in/log", b"code=500\ncode=404\ncode=500\n")
+        result = run_grep(mr, rb"code=\d+", ["/in/log"], "/out")
+        data = b"".join(fs.read_all(p) for p in result.output_files)
+        counts = dict(l.split(b"\t") for l in data.splitlines())
+        assert counts == {b"code=500": b"2", b"code=404": b"1"}
+
+    def test_no_matches_empty_output(self):
+        fs, mr = make_env()
+        fs.write_all("/in/log", b"nothing here\n")
+        result = run_grep(mr, rb"ERROR", ["/in/log"], "/out")
+        assert b"".join(fs.read_all(p) for p in result.output_files) == b""
+
+
+class TestSort:
+    def test_separate_outputs_concatenate_sorted(self):
+        fs, mr = make_env()
+        fs.write_all("/in/data", random_keys_corpus(500, seed=6))
+        result = run_sort(mr, ["/in/data"], "/out", n_reducers=4)
+        assert result.output_file_count == 4
+        merged = b"".join(fs.read_all(p) for p in sorted(result.output_files))
+        keys = [l.split(b"\t")[0] for l in merged.splitlines()]
+        assert keys == sorted(keys)
+        assert len(keys) == 500
+
+    def test_range_partitioner_balances(self):
+        fs, mr = make_env()
+        fs.write_all("/in/data", random_keys_corpus(1000, seed=8))
+        conf = make_sort_conf(fs, ["/in/data"], "/out", n_reducers=4)
+        result = mr.run_job(conf)
+        sizes = [fs.file_size(p) for p in result.output_files]
+        assert min(sizes) > 0
+        assert max(sizes) < 3 * (sum(sizes) / len(sizes))
+
+    def test_shared_output_contains_everything(self):
+        fs, mr = make_env()
+        fs.write_all("/in/data", random_keys_corpus(200, seed=2))
+        result = run_sort(mr, ["/in/data"], "/out", n_reducers=3,
+                          output_mode="shared")
+        assert result.output_file_count == 1
+        lines = fs.read_all(result.output_files[0]).splitlines()
+        assert len(lines) == 200

@@ -1,0 +1,61 @@
+"""Word count on both storage systems, against a Python Counter oracle."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import parse_counts, run_wordcount
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig, HDFSConfig
+from repro.hdfs import HDFSCluster
+from repro.mapreduce import MapReduceCluster
+from repro.workloads import text_corpus
+
+CORPUS = text_corpus(20_000, seed=9)
+ORACLE = Counter(CORPUS.split())
+
+
+def test_on_hdfs_separate():
+    cluster = HDFSCluster(n_datanodes=4, config=HDFSConfig(chunk_size=2048), seed=1)
+    fs = cluster.file_system()
+    fs.write_all("/in/doc", CORPUS)
+    mr = MapReduceCluster(fs, hosts=list(cluster.datanodes))
+    result = run_wordcount(mr, ["/in/doc"], "/out", n_reducers=3)
+    counts = parse_counts(b"".join(fs.read_all(p) for p in result.output_files))
+    assert counts == dict(ORACLE)
+
+
+def test_on_bsfs_shared():
+    dep = BSFS(config=BlobSeerConfig(page_size=4096, metadata_providers=2),
+               n_providers=4)
+    fs = dep.file_system()
+    fs.write_all("/in/doc", CORPUS)
+    mr = MapReduceCluster(fs, hosts=[f"provider-{i:03d}" for i in range(4)])
+    result = run_wordcount(mr, ["/in/doc"], "/out", n_reducers=3,
+                           output_mode="shared")
+    assert result.output_file_count == 1
+    assert parse_counts(fs.read_all(result.output_files[0])) == dict(ORACLE)
+
+
+def test_multiple_input_files():
+    dep = BSFS(config=BlobSeerConfig(page_size=4096, metadata_providers=2),
+               n_providers=4)
+    fs = dep.file_system()
+    fs.write_all("/in/a", b"x y\n")
+    fs.write_all("/in/b", b"y z\n")
+    mr = MapReduceCluster(fs, hosts=[f"provider-{i:03d}" for i in range(4)])
+    result = run_wordcount(mr, ["/in/a", "/in/b"], "/out")
+    counts = parse_counts(b"".join(fs.read_all(p) for p in result.output_files))
+    assert counts == {b"x": 1, b"y": 2, b"z": 1}
+
+
+def test_combiner_shrinks_shuffle():
+    dep = BSFS(config=BlobSeerConfig(page_size=4096, metadata_providers=2),
+               n_providers=4)
+    fs = dep.file_system()
+    fs.write_all("/in/doc", b"same same same same\n" * 100)
+    mr = MapReduceCluster(fs, hosts=[f"provider-{i:03d}" for i in range(4)])
+    result = run_wordcount(mr, ["/in/doc"], "/out")
+    # 400 map outputs collapse to a handful of combined pairs
+    assert result.counters["map_output_records"] == 400
+    assert mr.last_job.map_outputs.pairs_stored < 10

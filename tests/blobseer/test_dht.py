@@ -1,0 +1,95 @@
+"""Unit tests for the metadata DHT and the recording wrapper."""
+
+import pytest
+
+from repro.blobseer.metadata.dht import MetadataDHT, RecordingStore, placement_hash
+from repro.blobseer.metadata.segment_tree import NodeKey, TreeNode
+from repro.blobseer.pages import Fragment, fresh_page_id
+from repro.common.errors import VersionNotFoundError
+
+
+def leaf(version=1, lo=0):
+    return TreeNode(
+        NodeKey(1, version, lo, lo + 1),
+        fragments=(
+            Fragment(0, 64, fresh_page_id(1, "w"), 0, ("p0",)),
+        ),
+    )
+
+
+class TestPlacement:
+    def test_stable(self):
+        assert placement_hash(b"abc", 7) == placement_hash(b"abc", 7)
+
+    def test_in_range(self):
+        for i in range(50):
+            assert 0 <= placement_hash(str(i).encode(), 5) < 5
+
+    def test_spreads_load(self):
+        buckets = [0] * 8
+        for i in range(4000):
+            buckets[placement_hash(f"tree/1/{i}/0/1".encode(), 8)] += 1
+        assert min(buckets) > 300  # roughly uniform
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            placement_hash(b"x", 0)
+
+
+class TestMetadataDHT:
+    def test_put_get_roundtrip(self):
+        dht = MetadataDHT(4)
+        node = leaf()
+        dht.put_node(node)
+        assert dht.get_node(node.key) is node
+
+    def test_missing_raises(self):
+        dht = MetadataDHT(4)
+        with pytest.raises(VersionNotFoundError):
+            dht.get_node(NodeKey(1, 1, 0, 1))
+
+    def test_counters(self):
+        dht = MetadataDHT(2)
+        node = leaf()
+        dht.put_node(node)
+        dht.get_node(node.key)
+        assert sum(dht.puts) == 1
+        assert sum(dht.gets) == 1
+
+    def test_len_and_load(self):
+        dht = MetadataDHT(3)
+        for lo in range(10):
+            dht.put_node(leaf(lo=lo))
+        assert len(dht) == 10
+        assert sum(dht.load_per_provider()) == 10
+
+    def test_owner_consistent(self):
+        dht = MetadataDHT(5)
+        node = leaf()
+        assert dht.owner(node.key) == dht.owner(node.key)
+
+
+class TestRecordingStore:
+    def test_logs_accesses_with_owner(self):
+        dht = MetadataDHT(4)
+        rec = RecordingStore(dht)
+        node = leaf()
+        rec.put_node(node)
+        rec.get_node(node.key)
+        log = rec.take_log()
+        assert [r.op for r in log] == ["put", "get"]
+        assert all(r.owner == dht.owner(node.key) for r in log)
+
+    def test_take_log_clears(self):
+        dht = MetadataDHT(2)
+        rec = RecordingStore(dht)
+        rec.put_node(leaf())
+        rec.take_log()
+        assert rec.take_log() == []
+
+    def test_passthrough_semantics(self):
+        dht = MetadataDHT(2)
+        rec = RecordingStore(dht)
+        node = leaf()
+        rec.put_node(node)
+        assert dht.get_node(node.key) is node

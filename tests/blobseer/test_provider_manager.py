@@ -1,0 +1,88 @@
+"""Unit tests for load-balanced page placement."""
+
+import pytest
+
+from repro.blobseer.provider_manager import ProviderManager
+from repro.common.errors import ReplicationError
+
+NAMES = [f"p{i}" for i in range(6)]
+
+
+def test_allocates_distinct_replicas():
+    pm = ProviderManager(NAMES, seed=1)
+    [placement] = pm.allocate([100], replication=3)
+    assert len(placement) == len(set(placement)) == 3
+
+
+def test_load_balancing_across_pages():
+    pm = ProviderManager(NAMES, seed=1)
+    placements = pm.allocate([10] * 60, replication=1)
+    loads = pm.load_snapshot()
+    assert max(loads.values()) == min(loads.values())  # equal page sizes
+    assert pm.imbalance() == pytest.approx(1.0)
+
+
+def test_uneven_sizes_avoid_stacking_big_pages():
+    pm = ProviderManager(NAMES, seed=1)
+    sizes = [1000, 10, 10, 10, 10, 10, 1000, 10, 10, 10, 10, 10]
+    pm.allocate(sizes, replication=1)
+    # no provider receives both 1000-byte pages
+    assert max(pm.load_snapshot().values()) <= 1010
+
+
+def test_down_providers_excluded():
+    pm = ProviderManager(NAMES, seed=1)
+    pm.mark_down("p0")
+    pm.mark_down("p1")
+    for placement in pm.allocate([10] * 20, replication=2):
+        assert "p0" not in placement and "p1" not in placement
+    assert pm.alive_count == 4
+
+
+def test_replication_exceeding_alive_fails():
+    pm = ProviderManager(NAMES[:2], seed=1)
+    pm.mark_down("p0")
+    with pytest.raises(ReplicationError):
+        pm.allocate([10], replication=2)
+
+
+def test_mark_up_readmits():
+    pm = ProviderManager(NAMES, seed=1)
+    pm.mark_down("p0")
+    pm.mark_up("p0")
+    assert pm.alive_count == 6
+
+
+def test_prefer_hint_wins_when_not_overloaded():
+    pm = ProviderManager(NAMES, seed=1)
+    [placement] = pm.allocate([10], replication=1, prefer="p3")
+    assert placement[0] == "p3"
+
+
+def test_prefer_hint_ignored_when_overloaded():
+    pm = ProviderManager(NAMES, seed=1)
+    # pile load onto p3
+    for _ in range(10):
+        pm.allocate([1000], replication=1, prefer="p3")
+    [placement] = pm.allocate([10], replication=1, prefer="p3")
+    assert placement[0] != "p3"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProviderManager([])
+    with pytest.raises(ValueError):
+        ProviderManager(["a", "a"])
+    pm = ProviderManager(NAMES)
+    with pytest.raises(ValueError):
+        pm.allocate([0])
+    with pytest.raises(ValueError):
+        pm.allocate([10], replication=0)
+    with pytest.raises(KeyError):
+        pm.mark_down("ghost")
+
+
+def test_deterministic_given_seed():
+    a = ProviderManager(NAMES, seed=42).allocate([10] * 10)
+    b = ProviderManager(NAMES, seed=42).allocate([10] * 10)
+    assert a == b

@@ -1,0 +1,168 @@
+"""Unit + property tests for the versioned distributed segment tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blobseer.metadata.dht import MetadataDHT
+from repro.blobseer.metadata.segment_tree import (
+    NodeKey,
+    build_version,
+    capacity_for,
+    iter_all_pages,
+    query_pages,
+)
+from repro.blobseer.pages import Fragment, fresh_page_id
+
+
+def frag(tag="w"):
+    return (
+        Fragment(
+            start=0,
+            length=64,
+            page_id=fresh_page_id(1, tag),
+            data_offset=0,
+            providers=("p0",),
+        ),
+    )
+
+
+def build(store, version, prev_root, prev_cap, indices, cap, tag=None):
+    changes = {i: frag(tag or f"v{version}") for i in indices}
+    return build_version(store, 1, version, prev_root, prev_cap, changes, cap)
+
+
+class TestCapacity:
+    def test_powers(self):
+        assert capacity_for(1) == 1
+        assert capacity_for(2) == 2
+        assert capacity_for(3) == 4
+        assert capacity_for(1000) == 1024
+        assert capacity_for(0) == 1
+
+
+class TestBuildAndQuery:
+    def test_single_page_blob(self):
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, [0], 1)
+        assert query_pages(store, root, 0, 1)[0][0].page_id.writer == "v1"
+
+    def test_multi_page_query_range(self):
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, range(8), 8)
+        result = query_pages(store, root, 2, 5)
+        assert sorted(result) == [2, 3, 4]
+
+    def test_missing_pages_absent(self):
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, [0, 1], 4)
+        assert sorted(query_pages(store, root, 0, 4)) == [0, 1]
+
+    def test_rejects_empty_changes(self):
+        store = MetadataDHT(2)
+        with pytest.raises(ValueError):
+            build_version(store, 1, 1, None, 0, {}, 4)
+
+    def test_rejects_out_of_capacity(self):
+        store = MetadataDHT(2)
+        with pytest.raises(ValueError):
+            build(store, 1, None, 0, [4], 4)
+
+    def test_rejects_shrinking_capacity(self):
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, range(4), 4)
+        with pytest.raises(ValueError):
+            build(store, 2, root, 4, [0], 2)
+
+
+class TestVersionSharing:
+    def test_old_version_untouched(self):
+        store = MetadataDHT(2)
+        r1 = build(store, 1, None, 0, range(4), 4)
+        r2 = build(store, 2, r1, 4, [2], 4)
+        v1 = query_pages(store, r1, 0, 4)
+        v2 = query_pages(store, r2, 0, 4)
+        assert v1[2][0].page_id.writer == "v1"
+        assert v2[2][0].page_id.writer == "v2"
+        # unchanged pages are literally shared (same node keys)
+        assert v1[0] == v2[0] and v1[3] == v2[3]
+
+    def test_append_writes_few_nodes(self):
+        """Appending one page creates O(log n) nodes, not O(n)."""
+        store = MetadataDHT(1)
+        root = build(store, 1, None, 0, range(256), 256)
+        nodes_before = len(store)
+        root2 = build(store, 2, root, 256, [256], 512)
+        created = len(store) - nodes_before
+        assert created <= 2 * 10  # ~log2(512) inner nodes + leaf
+        assert sorted(query_pages(store, root2, 255, 257)) == [255, 256]
+
+    def test_capacity_growth_grafts_old_tree(self):
+        store = MetadataDHT(2)
+        r1 = build(store, 1, None, 0, range(4), 4)
+        # grow 4 -> 16 pages in one append
+        r2 = build(store, 2, r1, 4, range(4, 16), 16)
+        got = query_pages(store, r2, 0, 16)
+        assert sorted(got) == list(range(16))
+        assert got[0][0].page_id.writer == "v1"
+        assert got[15][0].page_id.writer == "v2"
+        # and v1 still reads clean
+        assert sorted(query_pages(store, r1, 0, 4)) == [0, 1, 2, 3]
+
+    def test_iter_all_pages_in_order(self):
+        store = MetadataDHT(2)
+        r1 = build(store, 1, None, 0, [0, 1, 5], 8)
+        assert [i for i, _f in iter_all_pages(store, r1)] == [0, 1, 5]
+
+
+class TestNodeKey:
+    def test_key_bytes_distinct(self):
+        keys = {
+            NodeKey(1, 1, 0, 4).key_bytes(),
+            NodeKey(1, 2, 0, 4).key_bytes(),
+            NodeKey(2, 1, 0, 4).key_bytes(),
+            NodeKey(1, 1, 0, 2).key_bytes(),
+        }
+        assert len(keys) == 4
+
+    def test_span_and_leaf(self):
+        assert NodeKey(1, 1, 4, 8).span == 4
+        assert NodeKey(1, 1, 3, 4).is_leaf_range
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),  # first changed page
+            st.integers(min_value=1, max_value=12),  # pages changed
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_version_history_matches_array_oracle(updates):
+    """Each version's full page map equals a naive dict-of-dicts oracle,
+    for arbitrary contiguous update sequences (append-ish and overwrite)."""
+    store = MetadataDHT(3)
+    oracle: dict[int, str] = {}
+    snapshots = []
+    root = None
+    cap = 0
+    max_page = 0
+    for v, (start, count) in enumerate(updates, start=1):
+        start = min(start, max_page)  # no holes, like the version manager
+        pages = list(range(start, start + count))
+        max_page = max(max_page, pages[-1] + 1)
+        new_cap = capacity_for(max_page)
+        root = build(store, v, root, cap, pages, new_cap, tag=f"v{v}")
+        cap = new_cap
+        for p in pages:
+            oracle[p] = f"v{v}"
+        snapshots.append((root, cap, dict(oracle)))
+    # every historical snapshot still reads exactly its own state
+    for root, cap, expected in snapshots:
+        got = {
+            i: frags[0].page_id.writer
+            for i, frags in query_pages(store, root, 0, cap).items()
+        }
+        assert got == expected

@@ -1,0 +1,170 @@
+"""Unit tests for the version manager (core state machine + threaded wrapper)."""
+
+import threading
+
+import pytest
+
+from repro.blobseer.metadata.segment_tree import NodeKey
+from repro.blobseer.version_manager import (
+    ThreadedVersionManager,
+    VersionManagerCore,
+)
+from repro.common.errors import (
+    BlobNotFoundError,
+    VersionNotFoundError,
+    VersionNotReadyError,
+)
+
+
+def root_key(v):
+    return NodeKey(1, v, 0, 1)
+
+
+class TestCore:
+    def test_create_blob_publishes_empty_v0(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(page_size=64)
+        rec = core.latest_published(blob)
+        assert (rec.version, rec.size) == (0, 0)
+
+    def test_unknown_blob(self):
+        core = VersionManagerCore()
+        with pytest.raises(BlobNotFoundError):
+            core.blob(99)
+
+    def test_append_offsets_chain(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        t1 = core.assign_append(blob, 100)
+        t2 = core.assign_append(blob, 50)
+        assert (t1.version, t1.offset, t1.new_size) == (1, 0, 100)
+        assert (t2.version, t2.offset, t2.new_size) == (2, 100, 150)
+
+    def test_write_requires_alignment_and_no_hole(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 64)
+        with pytest.raises(ValueError):
+            core.assign_write(blob, 10, 5)  # unaligned
+        with pytest.raises(ValueError):
+            core.assign_write(blob, 128, 5)  # hole
+        t = core.assign_write(blob, 0, 30)
+        assert t.new_size == 64  # overwrite does not shrink
+
+    def test_zero_sized_updates_rejected(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        with pytest.raises(ValueError):
+            core.assign_append(blob, 0)
+        with pytest.raises(ValueError):
+            core.assign_write(blob, 0, 0)
+
+    def test_in_order_publication(self):
+        """Version 2 committing before version 1 stays invisible until 1
+        commits."""
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.assign_append(blob, 10)
+        core.commit(blob, 2, root_key(2))
+        assert core.latest_published(blob).version == 0
+        core.commit(blob, 1, root_key(1))
+        assert core.latest_published(blob).version == 2
+
+    def test_metadata_prereq_gating(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.assign_append(blob, 10)
+        assert core.metadata_prereq(blob, 1) == (None, 0)
+        assert core.metadata_prereq(blob, 2) is None
+        core.commit(blob, 1, root_key(1))
+        prev_root, prev_cap = core.metadata_prereq(blob, 2)
+        assert prev_root == root_key(1) and prev_cap == 1
+
+    def test_when_turn_callback_order(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.assign_append(blob, 10)
+        fired = []
+        core.when_turn(blob, 2, lambda: fired.append(2))
+        core.when_turn(blob, 1, lambda: fired.append(1))  # immediate
+        assert fired == [1]
+        core.commit(blob, 1, root_key(1))
+        assert fired == [1, 2]
+
+    def test_double_commit_rejected(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.commit(blob, 1, root_key(1))
+        with pytest.raises(ValueError):
+            core.commit(blob, 1, root_key(1))
+
+    def test_get_version_gates_unpublished(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        with pytest.raises(VersionNotReadyError):
+            core.get_version(blob, 1)
+        with pytest.raises(VersionNotFoundError):
+            core.get_version(blob, 7)
+        core.commit(blob, 1, root_key(1))
+        assert core.get_version(blob, 1).size == 10
+
+    def test_old_versions_stay_readable(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        for v in range(1, 5):
+            core.assign_append(blob, 10)
+            core.commit(blob, v, root_key(v))
+        assert core.get_version(blob, 2).size == 20
+        assert core.latest_published(blob).size == 40
+
+
+class TestThreadedWrapper:
+    def test_concurrent_assignments_are_disjoint(self):
+        vm = ThreadedVersionManager()
+        blob = vm.create_blob(64)
+        tickets = []
+        lock = threading.Lock()
+
+        def worker():
+            t = vm.assign_append(blob, 10)
+            with lock:
+                tickets.append(t)
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        versions = sorted(t.version for t in tickets)
+        offsets = sorted(t.offset for t in tickets)
+        assert versions == list(range(1, 33))
+        assert offsets == [10 * i for i in range(32)]
+
+    def test_wait_metadata_turn_blocks_until_commit(self):
+        vm = ThreadedVersionManager()
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)
+        vm.assign_append(blob, 10)
+        result = {}
+
+        def second_writer():
+            result["prereq"] = vm.wait_metadata_turn(blob, 2, timeout=5)
+
+        t = threading.Thread(target=second_writer)
+        t.start()
+        vm.commit(blob, 1, root_key(1))
+        t.join(timeout=5)
+        assert result["prereq"][0] == root_key(1)
+
+    def test_wait_turn_times_out(self):
+        vm = ThreadedVersionManager()
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)
+        vm.assign_append(blob, 10)
+        with pytest.raises(VersionNotReadyError):
+            vm.wait_metadata_turn(blob, 2, timeout=0.05)

@@ -1,0 +1,77 @@
+"""Unit tests for the BSFS namespace manager."""
+
+import pytest
+
+from repro.bsfs.namespace import NamespaceManager
+from repro.common.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundInNamespaceError,
+)
+
+
+@pytest.fixture()
+def ns():
+    return NamespaceManager()
+
+
+def test_create_and_get(ns):
+    ns.create("/a/f", blob_id=7, page_size=1024)
+    rec = ns.get("/a/f")
+    assert (rec.blob_id, rec.page_size, rec.size) == (7, 1024, 0)
+
+
+def test_exclusive_create(ns):
+    ns.create("/f", 1, 64)
+    with pytest.raises(FileAlreadyExistsError):
+        ns.create("/f", 2, 64)
+    ns.create("/f", 3, 64, overwrite=True)
+    assert ns.get("/f").blob_id == 3
+
+
+def test_update_size_monotonic_max(ns):
+    """Concurrent appenders report completion out of order; the size must
+    be the max of the end offsets, never regressing."""
+    ns.create("/f", 1, 64)
+    assert ns.update_size("/f", 200) == 200
+    assert ns.update_size("/f", 100) == 200  # late, smaller: no regress
+    assert ns.update_size("/f", 300) == 300
+
+
+def test_status_and_list(ns):
+    ns.create("/d/f1", 1, 64)
+    ns.create("/d/f2", 2, 64)
+    ns.update_size("/d/f1", 500)
+    st = ns.get_status("/d/f1")
+    assert st.size == 500 and not st.is_directory and st.block_size == 64
+    names = [s.path for s in ns.list_dir("/d")]
+    assert names == ["/d/f1", "/d/f2"]
+    assert ns.get_status("/d").is_directory
+
+
+def test_rename_keeps_payload(ns):
+    ns.create("/tmp/x", 9, 64)
+    ns.update_size("/tmp/x", 42)
+    ns.rename("/tmp/x", "/final/x")
+    assert ns.get("/final/x").size == 42
+    assert not ns.exists("/tmp/x")
+
+
+def test_delete_returns_blob_payloads(ns):
+    ns.create("/d/a", 1, 64)
+    ns.create("/d/b", 2, 64)
+    payloads = ns.delete("/d", recursive=True)
+    assert sorted(p.blob_id for p in payloads) == [1, 2]
+    assert ns.delete("/ghost") is None
+
+
+def test_missing_file(ns):
+    with pytest.raises(FileNotFoundInNamespaceError):
+        ns.get("/ghost")
+
+
+def test_file_count(ns):
+    assert ns.file_count() == 0
+    ns.create("/a", 1, 64)
+    ns.create("/d/b", 2, 64)
+    ns.mkdirs("/empty")
+    assert ns.file_count() == 2

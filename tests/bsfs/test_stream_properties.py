@@ -1,0 +1,86 @@
+"""Property tests of BSFS streams against byte-string references."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig
+
+
+def make_fs(page=256):
+    dep = BSFS(
+        config=BlobSeerConfig(page_size=page, metadata_providers=2),
+        n_providers=3,
+    )
+    return dep.file_system("prop")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pieces=st.lists(st.binary(min_size=1, max_size=700), min_size=1, max_size=6),
+    reads=st.lists(
+        st.tuples(st.integers(0, 4000), st.integers(0, 900)), max_size=8
+    ),
+)
+def test_random_preads_match_reference(pieces, reads):
+    """Arbitrary append history + arbitrary positional reads == slicing a
+    plain byte string."""
+    fs = make_fs()
+    fs.create("/f").close()
+    reference = b""
+    for piece in pieces:
+        with fs.append("/f") as out:
+            out.write(piece)
+        reference += piece
+    with fs.open("/f") as stream:
+        for offset, size in reads:
+            expected = reference[offset : offset + size]
+            assert stream.pread(offset, size) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    writes=st.lists(st.binary(min_size=1, max_size=300), min_size=1, max_size=10),
+    chunk=st.integers(min_value=1, max_value=512),
+)
+def test_sequential_reads_reassemble(writes, chunk):
+    """Reading a file in arbitrary chunk sizes reassembles the writes."""
+    fs = make_fs()
+    with fs.create("/f") as out:
+        for w in writes:
+            out.write(w)
+    reference = b"".join(writes)
+    with fs.open("/f") as stream:
+        got = b""
+        while True:
+            piece = stream.read(chunk)
+            if not piece:
+                break
+            got += piece
+    assert got == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    history=st.lists(
+        st.tuples(st.sampled_from(["append", "snapshot"]), st.binary(min_size=1, max_size=400)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_versioned_snapshots_are_immutable(history):
+    """Interleave appends with 'snapshot' probes: every probed prefix
+    must still read identically after all later appends."""
+    fs = make_fs()
+    fs.create("/f").close()
+    reference = b""
+    probes = []  # (size, bytes at probe time)
+    for op, payload in history:
+        if op == "append":
+            with fs.append("/f") as out:
+                out.write(payload)
+            reference += payload
+        else:
+            probes.append((len(reference), reference))
+    with fs.open("/f") as stream:
+        for size, expected in probes:
+            assert stream.pread(0, size) == expected

@@ -1,0 +1,80 @@
+"""Unit + property tests for the CRC-framed record encoding."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.crc import decode_record, encode_record, read_record, scan_log
+from repro.common.errors import CorruptPageError
+
+
+def test_roundtrip_simple():
+    buf = encode_record(b"key", b"value")
+    key, value, end = decode_record(buf)
+    assert (key, value, end) == (b"key", b"value", len(buf))
+
+
+def test_empty_key_and_value():
+    buf = encode_record(b"", b"")
+    assert decode_record(buf)[:2] == (b"", b"")
+
+
+@given(st.binary(max_size=200), st.binary(max_size=2000))
+def test_roundtrip_property(key, value):
+    buf = encode_record(key, value)
+    k, v, end = decode_record(buf)
+    assert k == key and v == value and end == len(buf)
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(max_size=50), st.binary(max_size=200)), max_size=10
+    )
+)
+def test_scan_log_roundtrip(records):
+    log = b"".join(encode_record(k, v) for k, v in records)
+    assert list(scan_log(io.BytesIO(log))) == records
+
+
+def test_bit_flip_detected():
+    buf = bytearray(encode_record(b"key", b"some page data here"))
+    buf[-3] ^= 0x40
+    with pytest.raises(CorruptPageError, match="crc mismatch"):
+        decode_record(bytes(buf))
+
+
+def test_bad_magic_detected():
+    buf = bytearray(encode_record(b"k", b"v"))
+    buf[0] ^= 0xFF
+    with pytest.raises(CorruptPageError, match="magic"):
+        decode_record(bytes(buf))
+
+
+def test_truncated_header():
+    buf = encode_record(b"k", b"v")[:5]
+    with pytest.raises(CorruptPageError, match="truncated"):
+        decode_record(buf)
+
+
+def test_truncated_body():
+    buf = encode_record(b"k", b"value")[:-2]
+    with pytest.raises(CorruptPageError, match="truncated"):
+        decode_record(buf)
+
+
+def test_read_record_eof_returns_none():
+    assert read_record(io.BytesIO(b"")) is None
+
+
+def test_read_record_partial_header_raises():
+    with pytest.raises(CorruptPageError):
+        read_record(io.BytesIO(b"\x01\x02\x03"))
+
+
+def test_decode_at_offset():
+    first = encode_record(b"a", b"1")
+    second = encode_record(b"b", b"2")
+    buf = first + second
+    k, v, end = decode_record(buf, offset=len(first))
+    assert (k, v) == (b"b", b"2") and end == len(buf)

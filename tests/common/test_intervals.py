@@ -1,0 +1,178 @@
+"""Unit + property tests for the byte-extent algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.intervals import (
+    Extent,
+    align_down,
+    align_up,
+    covers_fully,
+    iter_chunks,
+    merge_extents,
+    page_span,
+    split_to_pages,
+    subtract,
+)
+
+extents = st.builds(
+    Extent,
+    offset=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=1, max_value=5_000),
+)
+
+
+class TestExtentBasics:
+    def test_end(self):
+        assert Extent(10, 5).end == 15
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Extent(-1, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Extent(0, 0)
+
+    def test_overlaps(self):
+        assert Extent(0, 10).overlaps(Extent(9, 1))
+        assert not Extent(0, 10).overlaps(Extent(10, 1))
+
+    def test_contains(self):
+        assert Extent(0, 10).contains(Extent(3, 7))
+        assert not Extent(0, 10).contains(Extent(3, 8))
+
+    def test_contains_offset(self):
+        e = Extent(5, 5)
+        assert e.contains_offset(5) and e.contains_offset(9)
+        assert not e.contains_offset(10) and not e.contains_offset(4)
+
+    def test_intersect(self):
+        assert Extent(0, 10).intersect(Extent(5, 10)) == Extent(5, 5)
+        assert Extent(0, 5).intersect(Extent(5, 5)) is None
+
+    def test_shift(self):
+        assert Extent(3, 4).shift(7) == Extent(10, 4)
+
+    def test_split_at(self):
+        left, right = Extent(0, 10).split_at(4)
+        assert left == Extent(0, 4) and right == Extent(4, 6)
+        with pytest.raises(ValueError):
+            Extent(0, 10).split_at(0)
+        with pytest.raises(ValueError):
+            Extent(0, 10).split_at(10)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(100, 64) == 64
+        assert align_down(64, 64) == 64
+        assert align_down(63, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(100, 64) == 128
+        assert align_up(64, 64) == 64
+        assert align_up(0, 64) == 0
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+        with pytest.raises(ValueError):
+            align_up(10, -1)
+
+
+class TestSplitToPages:
+    def test_aligned(self):
+        pieces = split_to_pages(Extent(0, 300), 100)
+        assert pieces == [Extent(0, 100), Extent(100, 100), Extent(200, 100)]
+
+    def test_unaligned_both_ends(self):
+        pieces = split_to_pages(Extent(150, 200), 100)
+        assert pieces == [Extent(150, 50), Extent(200, 100), Extent(300, 50)]
+
+    def test_within_one_page(self):
+        assert split_to_pages(Extent(10, 20), 100) == [Extent(10, 20)]
+
+    @given(extents, st.integers(min_value=1, max_value=512))
+    def test_pieces_tile_the_extent(self, ext, page):
+        pieces = split_to_pages(ext, page)
+        assert pieces[0].offset == ext.offset
+        assert pieces[-1].end == ext.end
+        for a, b in zip(pieces, pieces[1:]):
+            assert a.end == b.offset
+            assert b.offset % page == 0
+        assert all(p.size <= page for p in pieces)
+
+
+class TestPageSpan:
+    def test_exact(self):
+        assert list(page_span(Extent(0, 100), 100)) == [0]
+        assert list(page_span(Extent(0, 101), 100)) == [0, 1]
+        assert list(page_span(Extent(199, 2), 100)) == [1, 2]
+
+    @given(extents, st.integers(min_value=1, max_value=512))
+    def test_consistent_with_split(self, ext, page):
+        assert len(list(page_span(ext, page))) == len(split_to_pages(ext, page))
+
+
+class TestMergeAndSubtract:
+    def test_merge_overlapping(self):
+        merged = merge_extents([Extent(0, 5), Extent(3, 5), Extent(20, 2)])
+        assert merged == [Extent(0, 8), Extent(20, 2)]
+
+    def test_merge_adjacent(self):
+        assert merge_extents([Extent(0, 5), Extent(5, 5)]) == [Extent(0, 10)]
+
+    def test_subtract_middle(self):
+        holes = subtract(Extent(0, 100), [Extent(20, 10)])
+        assert holes == [Extent(0, 20), Extent(30, 70)]
+
+    def test_subtract_all(self):
+        assert subtract(Extent(10, 10), [Extent(0, 100)]) == []
+
+    def test_subtract_nothing(self):
+        assert subtract(Extent(0, 10), []) == [Extent(0, 10)]
+
+    def test_covers_fully(self):
+        assert covers_fully(Extent(0, 10), [Extent(0, 4), Extent(4, 6)])
+        assert not covers_fully(Extent(0, 10), [Extent(0, 4), Extent(5, 5)])
+
+    @given(st.lists(extents, max_size=8), extents)
+    def test_holes_and_covers_partition_the_base(self, covers, base):
+        holes = subtract(base, covers)
+        # holes are disjoint, inside base, and don't intersect any cover
+        for h in holes:
+            assert base.contains(h)
+            assert all(not h.overlaps(c) for c in covers)
+        covered = sum(
+            c.intersect(base).size
+            for c in merge_extents(covers)
+            if c.intersect(base)
+        )
+        assert covered + sum(h.size for h in holes) == base.size
+
+
+class TestIterChunks:
+    def test_even(self):
+        assert list(iter_chunks(300, 100)) == [
+            Extent(0, 100),
+            Extent(100, 100),
+            Extent(200, 100),
+        ]
+
+    def test_ragged_tail(self):
+        chunks = list(iter_chunks(250, 100))
+        assert chunks[-1] == Extent(200, 50)
+
+    def test_empty(self):
+        assert list(iter_chunks(0, 100)) == []
+
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=1, max_value=999),
+    )
+    def test_tiles_exactly(self, total, chunk):
+        chunks = list(iter_chunks(total, chunk))
+        assert sum(c.size for c in chunks) == total
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.end == b.offset

@@ -1,0 +1,173 @@
+"""Model-based (stateful hypothesis) test of the namespace tree against
+a flat dict-of-paths reference model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.errors import (
+    DirectoryNotEmptyError,
+    FileAlreadyExistsError,
+    FileNotFoundInNamespaceError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+)
+from repro.common.namespace import NamespaceTree
+
+NAMES = ["a", "b", "c", "dir1", "dir2"]
+paths = st.lists(st.sampled_from(NAMES), min_size=1, max_size=3).map(
+    lambda parts: "/" + "/".join(parts)
+)
+
+
+class NamespaceModel(RuleBasedStateMachine):
+    """The model is a dict path->payload for files plus a set of dirs;
+    every operation must agree with the real tree, including failures."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = NamespaceTree()
+        self.files: dict[str, int] = {}
+        self.dirs: set[str] = {"/"}
+        self.counter = 0
+
+    # -- model helpers ------------------------------------------------------
+
+    def model_ancestors(self, path: str) -> list[str]:
+        parts = path.strip("/").split("/")
+        return ["/" + "/".join(parts[: i + 1]) for i in range(len(parts) - 1)]
+
+    def model_conflicts_with_file(self, path: str) -> bool:
+        return any(anc in self.files for anc in self.model_ancestors(path))
+
+    def model_children(self, path: str):
+        prefix = path.rstrip("/") + "/"
+        for p in list(self.files) + list(self.dirs):
+            if p != path and p.startswith(prefix):
+                yield p
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(path=paths)
+    def create_file(self, path):
+        self.counter += 1
+        payload = self.counter
+        try:
+            self.tree.create_file(path, payload)
+            real_ok = True
+        except (FileAlreadyExistsError, IsADirectoryError_, NotADirectoryError_):
+            real_ok = False
+        model_ok = (
+            path not in self.files
+            and path not in self.dirs
+            and not self.model_conflicts_with_file(path)
+        )
+        assert real_ok == model_ok, (path, real_ok)
+        if model_ok:
+            self.files[path] = payload
+            for anc in self.model_ancestors(path):
+                self.dirs.add(anc)
+
+    @rule(path=paths)
+    def mkdirs(self, path):
+        try:
+            self.tree.mkdirs(path)
+            real_ok = True
+        except NotADirectoryError_:
+            real_ok = False
+        model_ok = path not in self.files and not self.model_conflicts_with_file(
+            path
+        )
+        assert real_ok == model_ok, path
+        if model_ok:
+            self.dirs.add(path)
+            for anc in self.model_ancestors(path):
+                self.dirs.add(anc)
+
+    @rule(path=paths)
+    def delete_recursive(self, path):
+        result = self.tree.delete(path, recursive=True)
+        existed = path in self.files or path in self.dirs
+        assert (result is not None) == existed, path
+        if existed:
+            doomed = [path] + list(self.model_children(path))
+            expected_payloads = sorted(
+                self.files[p] for p in doomed if p in self.files
+            )
+            assert sorted(result) == expected_payloads
+            for p in doomed:
+                self.files.pop(p, None)
+                self.dirs.discard(p)
+
+    @rule(path=paths)
+    def delete_nonrecursive(self, path):
+        has_children = any(True for _ in self.model_children(path))
+        if path in self.dirs and has_children:
+            try:
+                self.tree.delete(path, recursive=False)
+                raise AssertionError("expected DirectoryNotEmptyError")
+            except DirectoryNotEmptyError:
+                return
+        result = self.tree.delete(path, recursive=False)
+        existed = path in self.files or path in self.dirs
+        assert (result is not None) == existed
+        self.files.pop(path, None)
+        self.dirs.discard(path)
+
+    @rule(src=paths, dst=paths)
+    def rename(self, src, dst):
+        src_exists = src in self.files or src in self.dirs
+        dst_exists = dst in self.files or dst in self.dirs
+        into_self = dst == src or dst.startswith(src + "/")
+        dst_under_file = self.model_conflicts_with_file(dst)
+        try:
+            self.tree.rename(src, dst)
+            real_ok = True
+        except (
+            FileNotFoundInNamespaceError,
+            FileAlreadyExistsError,
+            NotADirectoryError_,
+            ValueError,
+        ):
+            real_ok = False
+        model_ok = (
+            src_exists and not dst_exists and not into_self and not dst_under_file
+            # renaming a dir above dst's new parent chain: ancestors of dst
+            # must not pass through src (covered by into_self) …
+            and not any(a == src for a in self.model_ancestors(dst))
+        )
+        assert real_ok == model_ok, (src, dst, real_ok)
+        if model_ok:
+            moved = [src] + list(self.model_children(src))
+            for p in moved:
+                new_p = dst + p[len(src):]
+                if p in self.files:
+                    self.files[new_p] = self.files.pop(p)
+                else:
+                    self.dirs.discard(p)
+                    self.dirs.add(new_p)
+            for anc in self.model_ancestors(dst):
+                self.dirs.add(anc)
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def file_set_matches(self):
+        real = {p for p, _e in self.tree.iter_files("/")}
+        assert real == set(self.files)
+
+    @invariant()
+    def payloads_match(self):
+        for path, payload in self.files.items():
+            assert self.tree.lookup_file(path).payload == payload
+
+    @invariant()
+    def counts_match(self):
+        _dirs, files = self.tree.count_entries()
+        assert files == len(self.files)
+
+
+NamespaceModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestNamespaceModel = NamespaceModel.TestCase

@@ -1,0 +1,62 @@
+"""Shared fixtures: small in-process deployments of every system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blobseer import BlobSeerService
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig, HDFSConfig, MapReduceConfig
+from repro.hdfs import HDFSCluster
+from repro.mapreduce import MapReduceCluster
+
+#: small page/chunk size so tests exercise multi-page paths cheaply
+SMALL_PAGE = 1024
+
+
+@pytest.fixture()
+def blobseer() -> BlobSeerService:
+    """A 6-provider BlobSeer service with 1 KiB pages."""
+    return BlobSeerService(
+        BlobSeerConfig(page_size=SMALL_PAGE, metadata_providers=4),
+        n_providers=6,
+        seed=1234,
+    )
+
+
+@pytest.fixture()
+def bsfs() -> BSFS:
+    """A BSFS deployment (namespace manager + BlobSeer) with 1 KiB blocks."""
+    return BSFS(
+        config=BlobSeerConfig(page_size=SMALL_PAGE, metadata_providers=4),
+        n_providers=6,
+        seed=1234,
+    )
+
+
+@pytest.fixture()
+def hdfs() -> HDFSCluster:
+    """An HDFS deployment with 1 KiB chunks and 2-way replication."""
+    return HDFSCluster(
+        n_datanodes=5,
+        config=HDFSConfig(chunk_size=SMALL_PAGE, replication=2),
+        seed=1234,
+    )
+
+
+@pytest.fixture()
+def mr_on_bsfs(bsfs: BSFS) -> MapReduceCluster:
+    """A Map/Reduce cluster whose tasktrackers are co-located with the
+    BSFS data providers (host names match the providers')."""
+    hosts = list(bsfs.service.providers)
+    return MapReduceCluster(
+        bsfs.file_system("mr"), hosts=hosts, config=MapReduceConfig()
+    )
+
+
+@pytest.fixture()
+def mr_on_hdfs(hdfs: HDFSCluster) -> MapReduceCluster:
+    """A Map/Reduce cluster co-located with the HDFS datanodes."""
+    return MapReduceCluster(
+        hdfs.file_system("mr"), hosts=list(hdfs.datanodes), config=MapReduceConfig()
+    )

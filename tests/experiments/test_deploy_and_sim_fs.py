@@ -1,0 +1,169 @@
+"""Tests for the simulated deployments and the simulated file systems
+(SimBSFS / SimHDFS) they wire together."""
+
+import pytest
+
+from repro.common.config import (
+    BlobSeerConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    HDFSConfig,
+)
+from repro.common.errors import OutOfRangeReadError
+from repro.common.units import MiB
+from repro.experiments.deploy import deploy_bsfs, deploy_hdfs
+
+
+def small_config(nodes=30, metadata=4):
+    return ExperimentConfig(
+        cluster=ClusterConfig(nodes=nodes),
+        blobseer=BlobSeerConfig(page_size=4 * MiB, metadata_providers=metadata),
+        hdfs=HDFSConfig(chunk_size=4 * MiB),
+        repetitions=1,
+    )
+
+
+def run_all(cluster, procs):
+    env = cluster.env
+
+    def main():
+        results = yield env.all_of(procs)
+        return results
+
+    return env.run(env.process(main()))
+
+
+class TestDeployBSFS:
+    def test_paper_role_split(self):
+        cfg = small_config()
+        dep = deploy_bsfs(cfg)
+        roles = dep.bsfs.roles
+        all_roles = (
+            {roles.blobseer.version_manager, roles.blobseer.provider_manager,
+             roles.namespace_manager}
+            | set(roles.blobseer.metadata_providers)
+            | set(roles.blobseer.data_providers)
+        )
+        assert len(all_roles) == cfg.cluster.nodes  # disjoint, exhaustive
+        assert len(roles.blobseer.metadata_providers) == 4
+        assert dep.client_nodes == list(roles.blobseer.data_providers)
+
+    def test_default_config_matches_paper(self):
+        dep = deploy_bsfs(ExperimentConfig(repetitions=1))
+        assert len(dep.bsfs.roles.blobseer.metadata_providers) == 20
+        # 270 - (VM + PM + NS + 20 mdp) = 247 providers
+        assert len(dep.bsfs.roles.blobseer.data_providers) == 247
+
+    def test_too_small_cluster_rejected(self):
+        cfg = small_config(nodes=5, metadata=4)
+        with pytest.raises(ValueError):
+            deploy_bsfs(cfg)
+
+
+class TestDeployHDFS:
+    def test_dedicated_namenode(self):
+        dep = deploy_hdfs(small_config())
+        assert dep.hdfs.roles.namenode == "node-000"
+        assert len(dep.hdfs.roles.datanodes) == 29
+
+
+class TestSimBSFS:
+    def test_append_read_roundtrip_and_sizes(self):
+        dep = deploy_bsfs(small_config())
+        bsfs, env = dep.bsfs, dep.cluster.env
+        c0, c1 = dep.client_nodes[:2]
+        env.run(env.process(bsfs.create_proc(c0, "/f")))
+        run_all(dep.cluster, [env.process(bsfs.append_proc(c0, "/f", 4 * MiB))])
+        assert bsfs.namespace.get_status("/f").size == 4 * MiB
+        run_all(dep.cluster, [env.process(bsfs.read_proc(c1, "/f", 0, 4 * MiB))])
+        assert bsfs.metrics.of_kind("read")
+
+    def test_concurrent_appends_update_namespace(self):
+        dep = deploy_bsfs(small_config())
+        bsfs, env = dep.bsfs, dep.cluster.env
+        env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/f")))
+        procs = [
+            env.process(bsfs.append_proc(c, "/f", 2 * MiB))
+            for c in dep.client_nodes[:6]
+        ]
+        run_all(dep.cluster, procs)
+        assert bsfs.namespace.get_status("/f").size == 12 * MiB
+
+    def test_preload_sets_up_readable_file(self):
+        dep = deploy_bsfs(small_config())
+        bsfs, env = dep.bsfs, dep.cluster.env
+        env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/f")))
+        bsfs.preload("/f", 40 * MiB)
+        assert bsfs.namespace.get_status("/f").size == 40 * MiB
+        run_all(
+            dep.cluster,
+            [env.process(bsfs.read_proc(dep.client_nodes[1], "/f", 36 * MiB, 4 * MiB))],
+        )
+
+    def test_preload_requires_empty_file(self):
+        dep = deploy_bsfs(small_config())
+        bsfs, env = dep.bsfs, dep.cluster.env
+        env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/f")))
+        bsfs.preload("/f", 4 * MiB)
+        with pytest.raises(ValueError):
+            bsfs.preload("/f", 4 * MiB)
+
+
+class TestSimHDFS:
+    def test_write_then_read(self):
+        dep = deploy_hdfs(small_config())
+        hdfs, env = dep.hdfs, dep.cluster.env
+        c = dep.client_nodes[0]
+        run_all(dep.cluster, [env.process(hdfs.write_file_proc(c, "/f", 10 * MiB))])
+        assert hdfs.namenode.get_status("/f").size == 10 * MiB
+        locs = hdfs.namenode.get_block_locations("/f", 0, 10 * MiB)
+        assert [l.length for l in locs] == [4 * MiB, 4 * MiB, 2 * MiB]
+        run_all(
+            dep.cluster,
+            [env.process(hdfs.read_proc(dep.client_nodes[1], "/f", 0, 10 * MiB))],
+        )
+        assert hdfs.metrics.of_kind("read")
+
+    def test_concurrent_writers_to_distinct_files(self):
+        """The HDFS pattern of the paper's Figure 1: N writers, N files."""
+        dep = deploy_hdfs(small_config())
+        hdfs, env = dep.hdfs, dep.cluster.env
+        procs = [
+            env.process(hdfs.write_file_proc(c, f"/out/part-{i:05d}", 4 * MiB))
+            for i, c in enumerate(dep.client_nodes[:8])
+        ]
+        run_all(dep.cluster, procs)
+        assert len(hdfs.namenode.list_dir("/out")) == 8
+
+    def test_preload(self):
+        dep = deploy_hdfs(small_config())
+        hdfs = dep.hdfs
+        hdfs.preload("/f", 12 * MiB)
+        assert hdfs.namenode.get_status("/f").size == 12 * MiB
+
+
+class TestHeadToHeadFairness:
+    def test_single_writer_throughput_similar(self):
+        """One client writing one chunk should cost about the same on
+        both systems — the paper's 'no extra cost' premise."""
+        cfg = small_config()
+        dep_b = deploy_bsfs(cfg)
+        env = dep_b.cluster.env
+        env.run(env.process(dep_b.bsfs.create_proc(dep_b.client_nodes[0], "/f")))
+        run_all(
+            dep_b.cluster,
+            [env.process(dep_b.bsfs.append_proc(dep_b.client_nodes[0], "/f", 4 * MiB))],
+        )
+        t_bsfs = dep_b.bsfs.metrics.of_kind("append")[0].duration
+
+        dep_h = deploy_hdfs(cfg)
+        run_all(
+            dep_h.cluster,
+            [
+                dep_h.cluster.env.process(
+                    dep_h.hdfs.write_file_proc(dep_h.client_nodes[0], "/f", 4 * MiB)
+                )
+            ],
+        )
+        t_hdfs = dep_h.hdfs.metrics.of_kind("write")[0].duration
+        assert t_bsfs == pytest.approx(t_hdfs, rel=0.25)

@@ -1,0 +1,71 @@
+"""Tests for the microbenchmark drivers: the paper's qualitative claims
+must hold on a scaled-down simulated testbed."""
+
+import pytest
+
+from repro.common.config import (
+    BlobSeerConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    HDFSConfig,
+)
+from repro.common.units import MiB
+from repro.experiments.microbench import (
+    appends_under_reads,
+    concurrent_appends,
+    reads_under_appends,
+)
+
+
+def small_config(reps=1):
+    return ExperimentConfig(
+        cluster=ClusterConfig(nodes=60),
+        blobseer=BlobSeerConfig(page_size=16 * MiB, metadata_providers=4),
+        hdfs=HDFSConfig(chunk_size=16 * MiB),
+        repetitions=reps,
+    )
+
+
+class TestFig3:
+    def test_throughput_sustained_under_scaling(self):
+        """Figure 3's claim: BSFS maintains good throughput as the number
+        of appenders grows — no collapse."""
+        points = concurrent_appends([1, 16, 40], small_config())
+        ys = [p.mean_mbps for p in points]
+        assert all(y > 0 for y in ys)
+        # sustained: 40 concurrent appenders keep >= 35% of the
+        # single-client throughput (the paper's curve shape)
+        assert ys[-1] >= 0.35 * ys[0]
+
+    def test_repetitions_aggregated(self):
+        points = concurrent_appends([4], small_config(reps=3))
+        assert len(points[0].samples) == 3
+        assert points[0].std_mbps >= 0.0
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            concurrent_appends([0], small_config())
+
+
+class TestFig4:
+    def test_reads_sustained_under_appends(self):
+        """Figure 4's claim: read throughput is sustained as appenders
+        are added (versioning isolates readers)."""
+        points = reads_under_appends(
+            [0, 20], small_config(), n_readers=16, chunks_per_reader=3,
+            chunks_per_appender=4,
+        )
+        no_appenders, many_appenders = points[0].mean_mbps, points[1].mean_mbps
+        assert many_appenders >= 0.6 * no_appenders
+
+
+class TestFig5:
+    def test_appends_sustained_under_reads(self):
+        """Figure 5's claim: append throughput is maintained as readers
+        are added."""
+        points = appends_under_reads(
+            [0, 20], small_config(), n_appenders=16, chunks_per_reader=3,
+            chunks_per_appender=3,
+        )
+        alone, with_readers = points[0].mean_mbps, points[1].mean_mbps
+        assert with_readers >= 0.6 * alone

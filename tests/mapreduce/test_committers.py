@@ -1,0 +1,139 @@
+"""Tests for the two output committers — the heart of the paper's
+framework modification (Figure 1 vs Figure 2)."""
+
+import threading
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig
+from repro.common.errors import AppendNotSupportedError
+from repro.hdfs import HDFSCluster
+from repro.mapreduce.io.committers import (
+    SeparateFileCommitter,
+    SharedAppendCommitter,
+    make_committer,
+)
+
+
+@pytest.fixture()
+def bsfs_fs():
+    return BSFS(
+        config=BlobSeerConfig(page_size=1024, metadata_providers=2), n_providers=4
+    ).file_system()
+
+
+@pytest.fixture()
+def hdfs_fs():
+    return HDFSCluster(n_datanodes=4).file_system()
+
+
+class TestSeparateFileCommitter:
+    """Original Hadoop (Figure 1): temp file per reducer, commit-by-rename."""
+
+    def test_commit_renames_to_part_file(self, hdfs_fs):
+        c = SeparateFileCommitter(hdfs_fs, "/out")
+        c.setup_job()
+        with c.open_task_output(3, attempt=1) as out:
+            out.write(b"reducer 3 output")
+        path = c.commit_task(3, attempt=1)
+        assert path == "/out/part-00003"
+        assert hdfs_fs.read_all(path) == b"reducer 3 output"
+
+    def test_one_file_per_reducer(self, hdfs_fs):
+        c = SeparateFileCommitter(hdfs_fs, "/out")
+        c.setup_job()
+        for r in range(4):
+            with c.open_task_output(r, 1) as out:
+                out.write(b"%d" % r)
+            c.commit_task(r, 1)
+        c.cleanup_job()
+        assert c.output_files() == [f"/out/part-{r:05d}" for r in range(4)]
+
+    def test_abort_discards_attempt(self, hdfs_fs):
+        c = SeparateFileCommitter(hdfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.write(b"partial")
+        out.discard()
+        c.abort_task(0, 1)
+        with c.open_task_output(0, 2) as out:
+            out.write(b"retry")
+        c.commit_task(0, 2)
+        assert hdfs_fs.read_all("/out/part-00000") == b"retry"
+
+    def test_cleanup_removes_temp_dir(self, hdfs_fs):
+        c = SeparateFileCommitter(hdfs_fs, "/out")
+        c.setup_job()
+        assert hdfs_fs.exists("/out/_temporary")
+        c.cleanup_job()
+        assert not hdfs_fs.exists("/out/_temporary")
+
+    def test_works_on_bsfs_too(self, bsfs_fs):
+        c = SeparateFileCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        with c.open_task_output(0, 1) as out:
+            out.write(b"x")
+        assert c.commit_task(0, 1) == "/out/part-00000"
+
+
+class TestSharedAppendCommitter:
+    """Modified Hadoop (Figure 2): all reducers append to one file."""
+
+    def test_single_output_file(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        for r in range(4):
+            with c.open_task_output(r, 1) as out:
+                out.write(b"reducer-%d;" % r)
+            assert c.commit_task(r, 1) == "/out/part-shared"
+        c.cleanup_job()
+        assert c.output_files() == ["/out/part-shared"]
+        data = bsfs_fs.read_all("/out/part-shared")
+        for r in range(4):
+            assert b"reducer-%d;" % r in data
+
+    def test_concurrent_reducers(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+
+        def reducer(r):
+            with c.open_task_output(r, 1) as out:
+                out.write(b"R%02d|" % r * 50)
+            c.commit_task(r, 1)
+
+        threads = [threading.Thread(target=reducer, args=(r,)) for r in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        data = bsfs_fs.read_all("/out/part-shared")
+        assert len(data) == 8 * 4 * 50
+        for r in range(8):
+            assert data.count(b"R%02d|" % r) == 50
+
+    def test_fails_on_hdfs(self, hdfs_fs):
+        """The committer requires append; HDFS refuses — exactly why the
+        paper needs BlobSeer."""
+        c = SharedAppendCommitter(hdfs_fs, "/out")
+        c.setup_job()
+        with pytest.raises(AppendNotSupportedError):
+            c.open_task_output(0, 1)
+
+    def test_abort_before_close_contributes_nothing(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.write(b"doomed")
+        out.discard()
+        c.abort_task(0, 1)
+        assert bsfs_fs.get_status("/out/part-shared").size == 0
+
+
+def test_make_committer_dispatch(hdfs_fs):
+    assert isinstance(
+        make_committer("separate", hdfs_fs, "/o"), SeparateFileCommitter
+    )
+    assert isinstance(make_committer("shared", hdfs_fs, "/o"), SharedAppendCommitter)
+    with pytest.raises(ValueError):
+        make_committer("mystery", hdfs_fs, "/o")

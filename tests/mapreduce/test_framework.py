@@ -1,0 +1,224 @@
+"""Integration tests for the Map/Reduce engine: scheduling, retries,
+failure handling, counters, locality."""
+
+import threading
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig, MapReduceConfig
+from repro.common.errors import JobConfigurationError, JobFailedError
+from repro.mapreduce import JobConf, MapReduceCluster
+from repro.mapreduce.scheduler import pick_map_task, pick_reduce_task
+from repro.mapreduce.task import MapTaskInfo, ReduceTaskInfo, TaskState
+from repro.mapreduce.io.input import FileSplit
+
+
+def wc_map(offset, line, ctx):
+    for w in line.split():
+        ctx.emit(w, 1)
+
+
+def wc_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def make_env(n_providers=4, page=2048):
+    dep = BSFS(
+        config=BlobSeerConfig(page_size=page, metadata_providers=2),
+        n_providers=n_providers,
+    )
+    fs = dep.file_system("mr")
+    hosts = [f"provider-{i:03d}" for i in range(n_providers)]
+    return dep, fs, MapReduceCluster(fs, hosts=hosts)
+
+
+class TestScheduler:
+    def split(self, hosts):
+        return FileSplit("/f", 0, 10, hosts=tuple(hosts))
+
+    def test_prefers_local_task(self):
+        tasks = [
+            MapTaskInfo(0, self.split(["hostA"])),
+            MapTaskInfo(1, self.split(["hostB"])),
+        ]
+        picked = pick_map_task(tasks, "hostB", locality_aware=True)
+        assert picked.task_id == 1
+
+    def test_falls_back_to_first_pending(self):
+        tasks = [
+            MapTaskInfo(0, self.split(["hostA"])),
+            MapTaskInfo(1, self.split(["hostB"])),
+        ]
+        picked = pick_map_task(tasks, "hostZ", locality_aware=True)
+        assert picked.task_id == 0
+
+    def test_locality_blind_takes_first(self):
+        tasks = [
+            MapTaskInfo(0, self.split(["hostB"])),
+            MapTaskInfo(1, self.split(["hostZ"])),
+        ]
+        picked = pick_map_task(tasks, "hostZ", locality_aware=False)
+        assert picked.task_id == 0
+
+    def test_skips_non_pending(self):
+        tasks = [MapTaskInfo(0, self.split(["h"]))]
+        tasks[0].state = TaskState.RUNNING
+        assert pick_map_task(tasks, "h", True) is None
+
+    def test_reduce_fifo(self):
+        tasks = [ReduceTaskInfo(0, 0), ReduceTaskInfo(1, 1)]
+        tasks[0].state = TaskState.SUCCEEDED
+        assert pick_reduce_task(tasks).task_id == 1
+
+
+class TestJobValidation:
+    def test_missing_input_rejected(self):
+        _dep, fs, cluster = make_env()
+        conf = JobConf(
+            name="j", input_paths=["/missing"], output_dir="/out",
+            map_fn=wc_map, reduce_fn=wc_reduce,
+        )
+        with pytest.raises(JobConfigurationError):
+            cluster.run_job(conf)
+
+    def test_existing_output_rejected(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"x\n")
+        fs.mkdirs("/out")
+        conf = JobConf(
+            name="j", input_paths=["/in"], output_dir="/out",
+            map_fn=wc_map, reduce_fn=wc_reduce,
+        )
+        with pytest.raises(JobConfigurationError):
+            cluster.run_job(conf)
+
+    def test_bad_output_mode_rejected(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"x\n")
+        conf = JobConf(
+            name="j", input_paths=["/in"], output_dir="/out",
+            map_fn=wc_map, reduce_fn=wc_reduce, output_mode="mystery",
+        )
+        with pytest.raises(JobConfigurationError):
+            cluster.run_job(conf)
+
+
+class TestRetries:
+    def test_flaky_map_retried_to_success(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"hello world\n" * 50)
+        failures = {"left": 2}
+        lock = threading.Lock()
+
+        def flaky_map(offset, line, ctx):
+            with lock:
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise RuntimeError("transient map crash")
+            wc_map(offset, line, ctx)
+
+        result = cluster.run_job(
+            JobConf(
+                name="flaky", input_paths=["/in"], output_dir="/out",
+                map_fn=flaky_map, reduce_fn=wc_reduce, n_reducers=2,
+            )
+        )
+        data = b"".join(fs.read_all(p) for p in result.output_files)
+        assert b"hello\t50" in data
+
+    def test_permanent_failure_fails_job(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"x\n")
+
+        def broken_map(offset, line, ctx):
+            raise RuntimeError("always broken")
+
+        with pytest.raises(JobFailedError, match="map task"):
+            cluster.run_job(
+                JobConf(
+                    name="broken", input_paths=["/in"], output_dir="/out",
+                    map_fn=broken_map, reduce_fn=wc_reduce,
+                )
+            )
+
+    def test_flaky_reduce_retried(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"a b c\n" * 20)
+        failures = {"left": 1}
+        lock = threading.Lock()
+
+        def flaky_reduce(key, values, ctx):
+            with lock:
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise RuntimeError("transient reduce crash")
+            wc_reduce(key, values, ctx)
+
+        result = cluster.run_job(
+            JobConf(
+                name="fr", input_paths=["/in"], output_dir="/out",
+                map_fn=wc_map, reduce_fn=flaky_reduce, n_reducers=1,
+                output_mode="shared",
+            )
+        )
+        data = fs.read_all(result.output_files[0])
+        counts = dict(l.split(b"\t") for l in data.splitlines())
+        # the retried reducer's output appears exactly once
+        assert counts == {b"a": b"20", b"b": b"20", b"c": b"20"}
+
+
+class TestCountersAndLocality:
+    def test_counters_populated(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"a a b\n" * 10)
+        result = cluster.run_job(
+            JobConf(
+                name="c", input_paths=["/in"], output_dir="/out",
+                map_fn=wc_map, reduce_fn=wc_reduce, n_reducers=2,
+            )
+        )
+        assert result.counters["map_input_records"] == 10
+        assert result.counters["map_output_records"] == 30
+        assert result.counters["reduce_input_groups"] == 2
+        assert result.counters["reduce_output_records"] == 2
+
+    def test_locality_fraction_reported(self):
+        dep, fs, cluster = make_env()
+        fs.write_all("/in", b"word\n" * 2000)
+        cluster.run_job(
+            JobConf(
+                name="loc", input_paths=["/in"], output_dir="/out",
+                map_fn=wc_map, reduce_fn=wc_reduce,
+            )
+        )
+        assert 0.0 <= cluster.last_job.locality_fraction() <= 1.0
+
+    def test_cluster_wide_shared_switch(self):
+        dep, fs, _ = make_env()
+        hosts = [f"provider-{i:03d}" for i in range(4)]
+        cluster = MapReduceCluster(
+            fs, hosts=hosts, config=MapReduceConfig(shared_output_file=True)
+        )
+        fs.write_all("/in", b"a b\n" * 10)
+        result = cluster.run_job(
+            JobConf(
+                name="sw", input_paths=["/in"], output_dir="/out",
+                map_fn=wc_map, reduce_fn=wc_reduce, n_reducers=3,
+            )
+        )
+        assert result.output_file_count == 1
+
+
+class TestEmptyInput:
+    def test_empty_file_job_completes(self):
+        _dep, fs, cluster = make_env()
+        fs.create("/in").close()
+        result = cluster.run_job(
+            JobConf(
+                name="empty", input_paths=["/in"], output_dir="/out",
+                map_fn=wc_map, reduce_fn=wc_reduce, n_reducers=2,
+            )
+        )
+        assert result.n_map_tasks == 0
+        assert result.output_file_count == 2  # empty part files still commit

@@ -1,0 +1,283 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import InterruptedProcessError, SimDeadlockError
+from repro.sim.core import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestTimeouts:
+    def test_time_advances(self, env):
+        def proc():
+            yield env.timeout(1.5)
+            return env.now
+
+        assert env.run(env.process(proc())) == 1.5
+
+    def test_zero_delay(self, env):
+        def proc():
+            yield env.timeout(0)
+            return "done"
+
+        assert env.run(env.process(proc())) == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_value(self, env):
+        def proc():
+            got = yield env.timeout(1, value="payload")
+            return got
+
+        assert env.run(env.process(proc())) == "payload"
+
+    def test_same_instant_fifo(self, env):
+        """Events at the same time fire in scheduling order."""
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcesses:
+    def test_process_return_value(self, env):
+        def child():
+            yield env.timeout(2)
+            return 99
+
+        def parent():
+            value = yield env.process(child())
+            return value + 1
+
+        assert env.run(env.process(parent())) == 100
+
+    def test_waiting_on_finished_process(self, env):
+        def child():
+            yield env.timeout(1)
+            return "early"
+
+        ch = env.process(child())
+
+        def parent():
+            yield env.timeout(5)
+            value = yield ch  # already processed
+            return value
+
+        assert env.run(env.process(parent())) == "early"
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def parent():
+            with pytest.raises(ValueError, match="boom"):
+                yield env.process(child())
+            return "caught"
+
+        assert env.run(env.process(parent())) == "caught"
+
+    def test_unwaited_failure_raises_at_run(self, env):
+        def child():
+            yield env.timeout(1)
+            raise RuntimeError("unobserved")
+
+        env.process(child())
+        with pytest.raises(RuntimeError, match="unobserved"):
+            env.run()
+
+    def test_run_until_failed_process_raises(self, env):
+        def child():
+            yield env.timeout(1)
+            raise KeyError("k")
+
+        with pytest.raises(KeyError):
+            env.run(env.process(child()))
+
+    def test_yield_non_event_is_error(self, env):
+        def bad():
+            yield 42
+
+        with pytest.raises(TypeError):
+            env.run(env.process(bad()))
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, env):
+        def child(d, v):
+            yield env.timeout(d)
+            return v
+
+        def parent():
+            values = yield env.all_of(
+                [env.process(child(2, "a")), env.process(child(1, "b"))]
+            )
+            return (env.now, sorted(values))
+
+        assert env.run(env.process(parent())) == (2.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, env):
+        def child(d, v):
+            yield env.timeout(d)
+            return v
+
+        def parent():
+            yield env.any_of(
+                [env.process(child(5, "slow")), env.process(child(1, "fast"))]
+            )
+            return env.now
+
+        assert env.run(env.process(parent())) == 1.0
+
+    def test_all_of_empty(self, env):
+        def parent():
+            values = yield env.all_of([])
+            return values
+
+        assert env.run(env.process(parent())) == []
+
+    def test_all_of_propagates_failure(self, env):
+        def ok():
+            yield env.timeout(10)
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("member failed")
+
+        def parent():
+            yield env.all_of([env.process(ok()), env.process(bad())])
+
+        with pytest.raises(ValueError, match="member failed"):
+            env.run(env.process(parent()))
+
+
+class TestEvents:
+    def test_manual_event(self, env):
+        ev = env.event()
+
+        def trigger():
+            yield env.timeout(3)
+            ev.succeed("signal")
+
+        def waiter():
+            value = yield ev
+            return (env.now, value)
+
+        env.process(trigger())
+        assert env.run(env.process(waiter())) == (3.0, "signal")
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+
+class TestRunModes:
+    def test_run_until_time(self, env):
+        ticks = []
+
+        def clock():
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(clock())
+        env.run(until=3.5)
+        assert ticks == [1, 2, 3]
+        assert env.now == 3.5
+
+    def test_run_drains_queue(self, env):
+        def proc():
+            yield env.timeout(7)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 7
+
+    def test_deadlock_detected(self, env):
+        ev = env.event()  # never triggered
+
+        def waiter():
+            yield ev
+
+        with pytest.raises(SimDeadlockError):
+            env.run(env.process(waiter()))
+
+    def test_run_until_past_is_error(self, env):
+        def proc():
+            yield env.timeout(10)
+
+        env.process(proc())
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except InterruptedProcessError:
+                return env.now
+
+        p = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(2)
+            p.interrupt("stop")
+
+        env.process(killer())
+        assert env.run(p) == 2.0
+
+    def test_interrupt_finished_is_noop(self, env):
+        def quick():
+            yield env.timeout(1)
+            return "ok"
+
+        p = env.process(quick())
+        env.run(p)
+        p.interrupt("late")  # no effect, no error
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def sleeper():
+            yield env.timeout(100)
+
+        p = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(1)
+            p.interrupt("die")
+
+        env.process(killer())
+        with pytest.raises(InterruptedProcessError):
+            env.run(p)
+
+
+def test_schedule_at_callback(env):
+    fired = []
+    env.schedule_at(4.0, lambda: fired.append(env.now))
+
+    def proc():
+        yield env.timeout(10)
+
+    env.run(env.process(proc()))
+    assert fired == [4.0]

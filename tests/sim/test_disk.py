@@ -1,0 +1,94 @@
+"""Unit tests for the disk service model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.disk import Disk
+
+
+def make_disk(read=100.0, write=50.0, cache=0.0, seed=0):
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    return env, Disk(env, read_bandwidth=read, write_bandwidth=write,
+                     cache_hit_ratio=cache, rng=rng)
+
+
+def run_and_time(env, event):
+    def main():
+        yield event
+        return env.now
+
+    return env.run(env.process(main()))
+
+
+def test_write_service_time():
+    env, disk = make_disk()
+    assert run_and_time(env, disk.write(100)) == pytest.approx(2.0)
+    assert disk.bytes_written == 100
+
+
+def test_read_service_time():
+    env, disk = make_disk()
+    assert run_and_time(env, disk.read(100)) == pytest.approx(1.0)
+    assert disk.bytes_read == 100
+
+
+def test_fcfs_serialization():
+    env, disk = make_disk()
+    e1 = disk.write(50)   # 1s
+    e2 = disk.write(50)   # queued behind
+
+    def main():
+        t1 = yield e1
+        t2 = yield e2
+        return env.now
+
+    assert env.run(env.process(main())) == pytest.approx(2.0)
+
+
+def test_reads_and_writes_share_the_spindle():
+    env, disk = make_disk()
+    disk.write(50)  # holds spindle 1s
+    e = disk.read(100)  # 1s service after the write
+    assert run_and_time(env, e) == pytest.approx(2.0)
+
+
+def test_cache_hits_bypass_spindle():
+    env, disk = make_disk(cache=1.0)
+    disk.write(5000)  # long write holding the spindle
+    e = disk.read(100)
+    t = run_and_time(env, e)
+    assert t < 1.0  # did not wait for the 100 s write
+    assert disk.cache_hits == 1 and disk.cache_misses == 0
+
+
+def test_cache_ratio_statistics():
+    env, disk = make_disk(cache=0.5, seed=7)
+    events = [disk.read(10) for _ in range(200)]
+
+    def main():
+        for e in events:
+            yield e
+
+    env.run(env.process(main()))
+    ratio = disk.cache_hits / (disk.cache_hits + disk.cache_misses)
+    assert 0.35 < ratio < 0.65
+
+
+def test_zero_byte_read_is_free():
+    env, disk = make_disk()
+    assert run_and_time(env, disk.read(0)) == pytest.approx(0.0)
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Disk(env, read_bandwidth=0, write_bandwidth=1)
+    with pytest.raises(ValueError):
+        Disk(env, read_bandwidth=1, write_bandwidth=1, cache_hit_ratio=2.0)
+    _env, disk = make_disk()
+    with pytest.raises(ValueError):
+        disk.write(-1)
+    with pytest.raises(ValueError):
+        disk.read(-1)

@@ -1,0 +1,105 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.common.config import BlobSeerConfig
+from repro.workloads import (
+    LastFMSpec,
+    estimate_join_output_bytes,
+    generate_records,
+    key_histogram,
+    kv_corpus,
+    random_keys_corpus,
+    text_corpus,
+    write_corpus_files,
+    write_dataset,
+)
+from repro.workloads.lastfm import spec_for_scale, users_for_blowup
+
+
+class TestTextCorpus:
+    def test_size_and_shape(self):
+        data = text_corpus(5000, seed=1)
+        assert 4000 <= len(data) <= 5001
+        assert data.endswith(b"\n")
+        assert all(line.split() for line in data.splitlines())
+
+    def test_deterministic(self):
+        assert text_corpus(1000, seed=5) == text_corpus(1000, seed=5)
+        assert text_corpus(1000, seed=5) != text_corpus(1000, seed=6)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            text_corpus(0)
+
+
+class TestKVCorpora:
+    def test_kv_corpus_format(self):
+        data = kv_corpus(50, key_space=10, seed=1)
+        lines = data.splitlines()
+        assert len(lines) == 50
+        for line in lines:
+            key, value = line.split(b"\t")
+            assert key.startswith(b"k") and value.startswith(b"v")
+
+    def test_kv_corpus_empty(self):
+        assert kv_corpus(0) == b""
+
+    def test_random_keys_mostly_unique(self):
+        data = random_keys_corpus(300, seed=3)
+        keys = [l.split(b"\t")[0] for l in data.splitlines()]
+        assert len(set(keys)) > 290
+
+
+class TestLastFM:
+    SPEC = LastFMSpec(bytes_per_file=20_000, n_users=200, seed=77)
+
+    def test_records_deterministic_and_sized(self):
+        a = list(generate_records(self.SPEC, "left"))
+        b = list(generate_records(self.SPEC, "left"))
+        assert a == b
+        total = sum(len(k) + 1 + len(v) + 1 for k, v in a)
+        assert total >= self.SPEC.bytes_per_file
+
+    def test_left_right_share_key_universe_but_differ(self):
+        left = key_histogram(self.SPEC, "left")
+        right = key_histogram(self.SPEC, "right")
+        assert left != right
+        assert set(left) & set(right)  # overlap exists -> join non-empty
+
+    def test_which_validated(self):
+        with pytest.raises(ValueError):
+            next(generate_records(self.SPEC, "middle"))
+
+    def test_write_dataset_on_bsfs(self):
+        dep = BSFS(config=BlobSeerConfig(page_size=8192, metadata_providers=2),
+                   n_providers=3)
+        fs = dep.file_system()
+        ls, rs = write_dataset(fs, self.SPEC, "/data/left", "/data/right")
+        assert fs.file_size("/data/left") == ls >= self.SPEC.bytes_per_file
+        assert fs.file_size("/data/right") == rs
+        first = fs.read_all("/data/left").splitlines()[0]
+        key, value = first.split(b"\t")
+        assert b"_" in key and b":" in value
+
+    def test_calibration_hits_target_blowup(self):
+        spec = spec_for_scale(50_000, target_blowup=10.0)
+        est = estimate_join_output_bytes(spec)
+        blowup = est / (2 * spec.bytes_per_file)
+        assert 5.0 < blowup < 20.0
+
+    def test_users_for_blowup_monotone(self):
+        few = users_for_blowup(50_000, target_blowup=50.0)
+        many = users_for_blowup(50_000, target_blowup=5.0)
+        assert few < many  # smaller blow-up needs a bigger key universe
+
+
+def test_write_corpus_files():
+    dep = BSFS(config=BlobSeerConfig(page_size=8192, metadata_providers=2),
+               n_providers=3)
+    fs = dep.file_system()
+    paths = write_corpus_files(fs, "/corpus", n_files=3, bytes_per_file=2000)
+    assert len(paths) == 3
+    contents = {fs.read_all(p) for p in paths}
+    assert len(contents) == 3  # per-file seeds differ
