@@ -32,6 +32,7 @@ from ..common.errors import (
     ReplicationError,
 )
 from ..common.intervals import Extent
+from ..obs import NULL_OBS, Observability
 from .metadata.dht import MetadataDHT
 from .metadata.segment_tree import (
     NodeKey,
@@ -55,6 +56,7 @@ class BlobSeerService:
         n_providers: int = 8,
         seed: int = 0,
         store_factory=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """*store_factory*, when given, is called with each provider's name
         and must return a :class:`~repro.blobseer.persistence.PageStore`
@@ -63,14 +65,15 @@ class BlobSeerService:
         self.config.validate()
         if n_providers < 1:
             raise ValueError("need at least one provider")
+        self.obs = obs or NULL_OBS
         names = [f"provider-{i:03d}" for i in range(n_providers)]
         self.providers: Dict[str, Provider] = {
             name: Provider(name, store_factory(name) if store_factory else None)
             for name in names
         }
-        self.version_manager = ThreadedVersionManager()
+        self.version_manager = ThreadedVersionManager(self.obs)
         self.dht = MetadataDHT(self.config.metadata_providers)
-        self.provider_manager = ProviderManager(names, seed=seed)
+        self.provider_manager = ProviderManager(names, seed=seed, obs=self.obs)
 
     # -- service operations -------------------------------------------------
 
@@ -142,8 +145,15 @@ class BlobClient:
         if not data:
             raise ValueError("cannot append zero bytes")
         vm = self.service.version_manager
-        ticket = vm.assign_append(blob_id, len(data))
-        return self._run_update(ticket, data), ticket.offset
+        with self.service.obs.tracer.span(
+            "blobseer.append",
+            cat="blobseer",
+            track=self.name,
+            blob=blob_id,
+            nbytes=len(data),
+        ):
+            ticket = vm.assign_append(blob_id, len(data))
+            return self._run_update(ticket, data), ticket.offset
 
     def write(self, blob_id: int, offset: int, data: bytes) -> int:
         """Overwrite ``[offset, offset+len(data))``; returns the new version.
@@ -156,8 +166,15 @@ class BlobClient:
         if not data:
             raise ValueError("cannot write zero bytes")
         vm = self.service.version_manager
-        ticket = vm.assign_write(blob_id, offset, len(data))
-        return self._run_update(ticket, data)
+        with self.service.obs.tracer.span(
+            "blobseer.write",
+            cat="blobseer",
+            track=self.name,
+            blob=blob_id,
+            nbytes=len(data),
+        ):
+            ticket = vm.assign_write(blob_id, offset, len(data))
+            return self._run_update(ticket, data)
 
     # -- read path --------------------------------------------------------------------
 
@@ -189,6 +206,14 @@ class BlobClient:
                 f"read [{offset}, {offset + size}) beyond version size {record.size}"
             )
         assert record.root is not None
+        sp = self.service.obs.tracer.start(
+            "blobseer.read",
+            cat="blobseer",
+            track=self.name,
+            blob=blob_id,
+            offset=offset,
+            nbytes=size,
+        )
         page_size = vm.blob(blob_id).page_size
         first = offset // page_size
         last = (offset + size - 1) // page_size
@@ -240,6 +265,7 @@ class BlobClient:
             wait(futures)
             for f in futures:
                 f.result()
+        sp.finish(fragments=len(jobs))
         return bytes(out)
 
     def size(self, blob_id: int, version: Optional[int] = None) -> int:
@@ -292,6 +318,7 @@ class BlobClient:
 
     def _run_update(self, ticket: Ticket, data: bytes) -> int:
         service = self.service
+        tracer = service.obs.tracer
         vm = service.version_manager
         ps = ticket.page_size
         offset, end = ticket.offset, ticket.offset + ticket.nbytes
@@ -322,17 +349,29 @@ class BlobClient:
                 providers=stored_on,
             )
 
-        for i, p in enumerate(page_indices):
-            futures.append(self._pool.submit(ship, i, p))
-        done, _ = wait(futures)
-        for fut in done:
-            p, frag = fut.result()  # surfaces store failures
-            new_frags[p] = frag
+        with tracer.span(
+            "pages.ship",
+            cat="blobseer.data",
+            track=self.name,
+            pages=len(page_indices),
+        ):
+            for i, p in enumerate(page_indices):
+                futures.append(self._pool.submit(ship, i, p))
+            done, _ = wait(futures)
+            for fut in done:
+                p, frag = fut.result()  # surfaces store failures
+                new_frags[p] = frag
 
         # metadata turn: previous version's tree is now complete
-        prev_root, prev_capacity = vm.wait_metadata_turn(
-            ticket.blob_id, ticket.version
-        )
+        with tracer.span(
+            "vm.metadata_turn_wait",
+            cat="blobseer.vm",
+            track=self.name,
+            version=ticket.version,
+        ):
+            prev_root, prev_capacity = vm.wait_metadata_turn(
+                ticket.blob_id, ticket.version
+            )
 
         # boundary pages inherit the previous version's fragments by
         # overlay (metadata only — no data is read back)
@@ -346,16 +385,20 @@ class BlobClient:
             prev_frags = query_pages(service.dht, prev_root, p, p + 1).get(p, ())
             changes[p] = overlay(prev_frags, frag)
 
-        root = build_version(
-            service.dht,
-            ticket.blob_id,
-            ticket.version,
-            prev_root,
-            prev_capacity,
-            changes,
-            _capacity_pages(ticket.new_size, ps),
-        )
-        vm.commit(ticket.blob_id, ticket.version, root)
+        with tracer.span(
+            "md.build_version", cat="blobseer.md", track=self.name
+        ):
+            root = build_version(
+                service.dht,
+                ticket.blob_id,
+                ticket.version,
+                prev_root,
+                prev_capacity,
+                changes,
+                _capacity_pages(ticket.new_size, ps),
+            )
+        with tracer.span("vm.commit", cat="blobseer.vm", track=self.name):
+            vm.commit(ticket.blob_id, ticket.version, root)
         return ticket.version
 
     def _store_page(

@@ -20,16 +20,30 @@ import numpy as np
 
 from ..common.errors import ReplicationError
 from ..common.rng import substream
+from ..obs import NULL_OBS, Observability
 
 
 class ProviderManager:
     """Tracks provider load and allocates placement for new pages."""
 
-    def __init__(self, provider_names: Sequence[str], seed: int = 0) -> None:
+    def __init__(
+        self,
+        provider_names: Sequence[str],
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+    ) -> None:
         if not provider_names:
             raise ValueError("need at least one provider")
         if len(set(provider_names)) != len(provider_names):
             raise ValueError("duplicate provider names")
+        obs = obs or NULL_OBS
+        self._c_allocations = obs.registry.counter("pm.allocations")
+        self._c_pages = obs.registry.counter("pm.pages_placed")
+        self._c_bytes = obs.registry.counter("pm.bytes_placed")
+        self._g_imbalance = obs.registry.gauge("pm.imbalance")
+        #: the imbalance readout is O(providers) per allocation — worth
+        #: computing only when somebody will read it
+        self._track_imbalance = obs.registry.enabled
         self._lock = threading.Lock()
         self._load: Dict[str, int] = {name: 0 for name in provider_names}
         self._down: set[str] = set()
@@ -91,6 +105,13 @@ class ProviderManager:
                 for name in chosen:
                     self._load[name] += size
                 result.append(tuple(chosen))
+                self._c_pages.inc()
+                self._c_bytes.inc(float(size) * replication)
+            self._c_allocations.inc()
+            if self._track_imbalance:
+                loads = [self._load[n] for n in alive]
+                mean = sum(loads) / len(loads)
+                self._g_imbalance.set(max(loads) / mean if mean > 0 else 1.0)
             return result
 
     def _pick(

@@ -30,6 +30,8 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..common.config import BlobSeerConfig
 from ..common.errors import OutOfRangeReadError
+from ..obs import NULL_OBS, Observability
+from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
@@ -75,16 +77,23 @@ class SimBlobSeer:
         cluster: SimCluster,
         roles: BlobSeerRoles,
         config: Optional[BlobSeerConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.roles = roles
         self.config = config or BlobSeerConfig()
         self.config.validate()
-        self.core = VersionManagerCore()
+        self.obs = obs or NULL_OBS
+        if self.obs.tracer.enabled:
+            # spans carry simulated timestamps; rebasing keeps successive
+            # deployments sequential in one trace
+            env = self.env
+            self.obs.tracer.use_clock(lambda: env.now)
+        self.core = VersionManagerCore(self.obs)
         self.dht = MetadataDHT(len(roles.metadata_providers))
         self.provider_manager = ProviderManager(
-            list(roles.data_providers), seed=cluster.config.seed
+            list(roles.data_providers), seed=cluster.config.seed, obs=self.obs
         )
         # one-slot critical section at the version manager
         self._vm_slot = Resource(self.env, capacity=1)
@@ -93,6 +102,13 @@ class SimBlobSeer:
             Resource(self.env, capacity=1) for _ in roles.metadata_providers
         ]
         self.metrics = Metrics()
+        self._h_ticket_wait = self.obs.registry.histogram(
+            "vm.append_ticket_wait_s"
+        )
+        self._h_turn_wait = self.obs.registry.histogram(
+            "vm.metadata_turn_wait_s"
+        )
+        self._c_md_rpcs = self.obs.registry.counter("md.rpcs")
 
     # -- blob lifecycle -------------------------------------------------------
 
@@ -102,11 +118,25 @@ class SimBlobSeer:
 
     # -- RPC helpers -----------------------------------------------------------
 
-    def _vm_call(self, client: str, fn) -> Generator[Event, None, object]:
+    def _vm_call(
+        self,
+        client: str,
+        fn,
+        op: str = "call",
+        parent: Optional[Span] = None,
+    ) -> Generator[Event, None, object]:
         """Round trip to the version manager: latency + serialized service.
 
         *fn* runs inside the critical section and its result is returned.
+        The round trip is traced as one ``vm.<op>`` span; append-ticket
+        assignment additionally feeds the ``vm.append_ticket_wait_s``
+        histogram (latency + queue wait + service — the serialization
+        cost one appender observes at the VM).
         """
+        sp = self.obs.tracer.start(
+            f"vm.{op}", cat="blobseer.vm", parent=parent, track=client
+        )
+        t0 = self.env.now
         yield self.env.timeout(self.cluster.config.latency)
         req = yield self._vm_slot.request()
         try:
@@ -115,6 +145,9 @@ class SimBlobSeer:
         finally:
             self._vm_slot.release(req)
         yield self.env.timeout(self.cluster.config.latency)
+        sp.finish()
+        if op == "assign_append":
+            self._h_ticket_wait.observe(self.env.now - t0)
         return result
 
     def _mdp_rpc(self, owner: int) -> Generator[Event, None, None]:
@@ -132,6 +165,7 @@ class SimBlobSeer:
         """Charge a batch of logged DHT accesses, all in parallel."""
         if not records:
             return
+        self._c_md_rpcs.inc(len(records))
         procs = [
             self.env.process(self._mdp_rpc(rec.owner), name="mdp-rpc")
             for rec in records
@@ -169,19 +203,38 @@ class SimBlobSeer:
     # -- client operations ------------------------------------------------------------
 
     def append_proc(
-        self, client: str, blob_id: int, nbytes: int, record: bool = True
+        self,
+        client: str,
+        blob_id: int,
+        nbytes: int,
+        record: bool = True,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
         """Append *nbytes* from machine *client*; returns the new version."""
         if nbytes <= 0:
             raise ValueError("append of zero bytes")
         start = self.env.now
+        sp = self.obs.tracer.start(
+            "blobseer.append",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            nbytes=nbytes,
+        )
         ticket: Ticket = yield self.env.process(
-            self._vm_call(client, lambda: self.core.assign_append(blob_id, nbytes)),
+            self._vm_call(
+                client,
+                lambda: self.core.assign_append(blob_id, nbytes),
+                op="assign_append",
+                parent=sp,
+            ),
             name="vm-assign",
         )
         version = yield self.env.process(
-            self._update_body(client, ticket), name="append-body"
+            self._update_body(client, ticket, parent=sp), name="append-body"
         )
+        sp.finish(version=version, offset=ticket.offset)
         if record:
             self.metrics.record(client, "append", start, self.env.now, nbytes)
         return version
@@ -193,25 +246,39 @@ class SimBlobSeer:
         offset: int,
         nbytes: int,
         record: bool = True,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
         """Overwrite ``[offset, offset+nbytes)``; returns the new version."""
         start = self.env.now
+        sp = self.obs.tracer.start(
+            "blobseer.write",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            nbytes=nbytes,
+        )
         ticket: Ticket = yield self.env.process(
             self._vm_call(
-                client, lambda: self.core.assign_write(blob_id, offset, nbytes)
+                client,
+                lambda: self.core.assign_write(blob_id, offset, nbytes),
+                op="assign_write",
+                parent=sp,
             ),
             name="vm-assign",
         )
         version = yield self.env.process(
-            self._update_body(client, ticket), name="write-body"
+            self._update_body(client, ticket, parent=sp), name="write-body"
         )
+        sp.finish(version=version)
         if record:
             self.metrics.record(client, "write", start, self.env.now, nbytes)
         return version
 
     def _update_body(
-        self, client: str, ticket: Ticket
+        self, client: str, ticket: Ticket, parent: Optional[Span] = None
     ) -> Generator[Event, None, int]:
+        tracer = self.obs.tracer
         ps = ticket.page_size
         offset, end = ticket.offset, ticket.offset + ticket.nbytes
         first = offset // ps
@@ -225,6 +292,13 @@ class SimBlobSeer:
         )
 
         # ship every page's bytes in parallel right away
+        sp_ship = tracer.start(
+            "pages.ship",
+            cat="blobseer.data",
+            parent=parent,
+            track=client,
+            pages=len(page_indices),
+        )
         new_frags: Dict[int, Fragment] = {}
         shippers = []
         for i, p in enumerate(page_indices):
@@ -244,13 +318,25 @@ class SimBlobSeer:
                 )
             )
         yield self.env.all_of(shippers)
+        sp_ship.finish()
 
-        # metadata turn
+        # metadata turn — the when_turn queue wait is the commit-ordering
+        # serialization the paper's analysis hinges on, so time it
+        sp_turn = tracer.start(
+            "vm.metadata_turn_wait",
+            cat="blobseer.vm",
+            parent=parent,
+            track=client,
+            version=ticket.version,
+        )
+        turn_t0 = self.env.now
         turn = self.env.event()
         self.core.when_turn(
             ticket.blob_id, ticket.version, lambda: turn.succeed(None)
         )
         yield turn
+        sp_turn.finish()
+        self._h_turn_wait.observe(self.env.now - turn_t0)
         prereq = self.core.metadata_prereq(ticket.blob_id, ticket.version)
         assert prereq is not None
         prev_root, prev_capacity = prereq
@@ -269,9 +355,17 @@ class SimBlobSeer:
             boundary_log.extend(rec_store.take_log())
             changes[p] = overlay(prev_frags, frag)
         if boundary_log:
+            sp_b = tracer.start(
+                "md.boundary_read",
+                cat="blobseer.md",
+                parent=parent,
+                track=client,
+                rpcs=len(boundary_log),
+            )
             yield self.env.process(
                 self._charge_metadata(boundary_log), name="md-boundary"
             )
+            sp_b.finish()
 
         # write the new version's tree nodes (parallel, charged per owner)
         rec_store = RecordingStore(self.dht)
@@ -287,14 +381,26 @@ class SimBlobSeer:
             changes,
             new_capacity,
         )
-        yield self.env.process(
-            self._charge_metadata(rec_store.take_log()), name="md-build"
+        build_log = rec_store.take_log()
+        sp_md = tracer.start(
+            "md.build_version",
+            cat="blobseer.md",
+            parent=parent,
+            track=client,
+            rpcs=len(build_log),
         )
+        yield self.env.process(
+            self._charge_metadata(build_log), name="md-build"
+        )
+        sp_md.finish()
 
         # commit + in-order publication at the VM
         yield self.env.process(
             self._vm_call(
-                client, lambda: self.core.commit(ticket.blob_id, ticket.version, root)
+                client,
+                lambda: self.core.commit(ticket.blob_id, ticket.version, root),
+                op="commit",
+                parent=parent,
             ),
             name="vm-commit",
         )
@@ -308,12 +414,23 @@ class SimBlobSeer:
         nbytes: int,
         version: Optional[int] = None,
         record: bool = True,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
         """Read ``[offset, offset+nbytes)`` of a published version; returns
         the version actually read."""
         if offset < 0 or nbytes <= 0:
             raise ValueError("bad read range")
         start = self.env.now
+        tracer = self.obs.tracer
+        sp = tracer.start(
+            "blobseer.read",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            offset=offset,
+            nbytes=nbytes,
+        )
 
         def resolve():
             if version is None:
@@ -321,7 +438,8 @@ class SimBlobSeer:
             return self.core.get_version(blob_id, version)
 
         rec = yield self.env.process(
-            self._vm_call(client, resolve), name="vm-resolve"
+            self._vm_call(client, resolve, op="resolve", parent=sp),
+            name="vm-resolve",
         )
         if offset + nbytes > rec.size:
             raise OutOfRangeReadError(
@@ -333,8 +451,20 @@ class SimBlobSeer:
         last = (offset + nbytes - 1) // ps
         rec_store = RecordingStore(self.dht)
         leaves = query_pages(rec_store, rec.root, first, last + 1)
+        query_log = rec_store.take_log()
+        sp_md = tracer.start(
+            "md.query_pages",
+            cat="blobseer.md",
+            parent=sp,
+            track=client,
+            rpcs=len(query_log),
+        )
         yield self.env.process(
-            self._charge_metadata(rec_store.take_log()), name="md-query"
+            self._charge_metadata(query_log), name="md-query"
+        )
+        sp_md.finish()
+        sp_fetch = tracer.start(
+            "pages.fetch", cat="blobseer.data", parent=sp, track=client
         )
         fetchers = []
         for p in range(first, last + 1):
@@ -352,6 +482,8 @@ class SimBlobSeer:
                     )
                 )
         yield self.env.all_of(fetchers)
+        sp_fetch.finish(fragments=len(fetchers))
+        sp.finish(version=rec.version)
         if record:
             self.metrics.record(client, "read", start, self.env.now, nbytes)
         return rec.version

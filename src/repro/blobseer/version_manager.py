@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -42,6 +43,7 @@ from ..common.errors import (
     VersionNotFoundError,
     VersionNotReadyError,
 )
+from ..obs import NULL_OBS, Observability
 from .metadata.segment_tree import NodeKey, capacity_for
 
 
@@ -95,11 +97,18 @@ def _pages_capacity(size: int, page_size: int) -> int:
 class VersionManagerCore:
     """Pure, lock-free VM state machine (callers provide mutual exclusion)."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._blobs: Dict[int, BlobState] = {}
         self._ids = itertools.count(1)
         #: callbacks waiting for a version's metadata turn / publication
         self._turn_waiters: Dict[tuple[int, int], List[Callable[[], None]]] = {}
+        obs = obs or NULL_OBS
+        self._c_tickets = obs.registry.counter("vm.tickets_assigned")
+        self._c_append_tickets = obs.registry.counter("vm.append_tickets")
+        self._c_commits = obs.registry.counter("vm.commits")
+        self._c_turn_waits = obs.registry.counter("vm.turn_waits")
+        self._g_turn_queue = obs.registry.gauge("vm.turn_queue_depth")
+        self._h_ticket_bytes = obs.registry.histogram("vm.append_ticket_bytes")
 
     # -- blob lifecycle ------------------------------------------------------
 
@@ -139,6 +148,8 @@ class VersionManagerCore:
             raise ValueError("append of zero bytes")
         state = self.blob(blob_id)
         offset = state.assigned_size
+        self._c_append_tickets.inc()
+        self._h_ticket_bytes.observe(float(nbytes))
         return self._assign(state, offset, nbytes, kind="append")
 
     def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
@@ -160,6 +171,7 @@ class VersionManagerCore:
         return self._assign(state, offset, nbytes, kind="write")
 
     def _assign(self, state: BlobState, offset: int, nbytes: int, kind: str) -> Ticket:
+        self._c_tickets.inc()
         version = state.next_version
         state.next_version += 1
         new_size = max(state.assigned_size, offset + nbytes)
@@ -206,6 +218,8 @@ class VersionManagerCore:
             callback()
             return
         self._turn_waiters.setdefault((blob_id, version), []).append(callback)
+        self._c_turn_waits.inc()
+        self._g_turn_queue.set(float(len(self._turn_waiters)))
 
     def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
         """Record the version's metadata root and publish what's publishable."""
@@ -217,11 +231,13 @@ class VersionManagerCore:
             raise ValueError(f"version {version} committed twice")
         record.root = root
         record.committed = True
+        self._c_commits.inc()
         # advance the published frontier over consecutive committed versions
         while (nxt := state.versions.get(state.published + 1)) and nxt.committed:
             state.published += 1
         # wake the next writer's metadata turn
         waiters = self._turn_waiters.pop((blob_id, version + 1), [])
+        self._g_turn_queue.set(float(len(self._turn_waiters)))
         for cb in waiters:
             cb()
 
@@ -253,18 +269,28 @@ class VersionManagerCore:
 class ThreadedVersionManager:
     """Mutex-wrapped VM for the threaded (real-bytes) runtime."""
 
-    def __init__(self) -> None:
-        self.core = VersionManagerCore()
+    def __init__(self, obs: Optional[Observability] = None) -> None:
+        self.obs = obs or NULL_OBS
+        self.core = VersionManagerCore(self.obs)
         self._lock = threading.Lock()
         self._turn = threading.Condition(self._lock)
+        self._h_ticket_wait = self.obs.registry.histogram(
+            "vm.append_ticket_wait_s"
+        )
+        self._h_turn_wait = self.obs.registry.histogram(
+            "vm.metadata_turn_wait_s"
+        )
 
     def create_blob(self, page_size: int) -> int:
         with self._lock:
             return self.core.create_blob(page_size)
 
     def assign_append(self, blob_id: int, nbytes: int) -> Ticket:
+        t0 = time.perf_counter()
         with self._lock:
-            return self.core.assign_append(blob_id, nbytes)
+            ticket = self.core.assign_append(blob_id, nbytes)
+        self._h_ticket_wait.observe(time.perf_counter() - t0)
+        return ticket
 
     def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
         with self._lock:
@@ -274,6 +300,7 @@ class ThreadedVersionManager:
         self, blob_id: int, version: int, timeout: float = 60.0
     ) -> tuple[Optional[NodeKey], int]:
         """Block until it is *version*'s turn to write metadata."""
+        t0 = time.perf_counter()
         with self._turn:
             deadline_info = self.core.metadata_prereq(blob_id, version)
             while deadline_info is None:
@@ -283,7 +310,8 @@ class ThreadedVersionManager:
                         f"blob {blob_id} v{version}"
                     )
                 deadline_info = self.core.metadata_prereq(blob_id, version)
-            return deadline_info
+        self._h_turn_wait.observe(time.perf_counter() - t0)
+        return deadline_info
 
     def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
         with self._turn:

@@ -23,9 +23,20 @@ from typing import Callable, List, Optional, Tuple
 
 
 class ReadBlockCache:
-    """LRU cache of whole blocks, keyed by block index."""
+    """LRU cache of whole blocks, keyed by block index.
 
-    def __init__(self, block_size: int, capacity_blocks: int) -> None:
+    *on_hit* / *on_miss* fire once per lookup alongside the lifetime
+    counters — the BSFS streams wire them to the metrics registry so
+    hit-rates show up in experiment output.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        capacity_blocks: int,
+        on_hit: Optional[Callable[[], None]] = None,
+        on_miss: Optional[Callable[[], None]] = None,
+    ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         if capacity_blocks < 1:
@@ -36,6 +47,8 @@ class ReadBlockCache:
         #: lifetime counters
         self.hits = 0
         self.misses = 0
+        self._on_hit = on_hit
+        self._on_miss = on_miss
 
     def get(
         self, index: int, fetch: Callable[[int], bytes]
@@ -44,9 +57,13 @@ class ReadBlockCache:
         block = self._blocks.get(index)
         if block is not None:
             self.hits += 1
+            if self._on_hit is not None:
+                self._on_hit()
             self._blocks.move_to_end(index)
             return block
         self.misses += 1
+        if self._on_miss is not None:
+            self._on_miss()
         block = fetch(index)
         self._blocks[index] = block
         while len(self._blocks) > self.capacity_blocks:
@@ -88,6 +105,8 @@ class WriteBehindBuffer:
         self._buffer = bytearray()
         #: total bytes accepted
         self.accepted = 0
+        #: lifetime count of batches released (add + drain)
+        self.flushes = 0
 
     def add(self, data: bytes) -> List[bytes]:
         """Buffer *data*; returns every batch now ready to commit."""
@@ -103,6 +122,7 @@ class WriteBehindBuffer:
             if len(self._buffer) == self.block_size:
                 out.append(bytes(self._buffer))
                 self._buffer.clear()
+        self.flushes += len(out)
         return out
 
     def drain(self) -> Optional[bytes]:
@@ -111,6 +131,7 @@ class WriteBehindBuffer:
             return None
         block = bytes(self._buffer)
         self._buffer.clear()
+        self.flushes += 1
         return block
 
     @property

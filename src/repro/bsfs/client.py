@@ -28,6 +28,8 @@ from ..common.fs import (
     OutputStream,
     normalize_path,
 )
+from ..obs import NULL_OBS, Observability
+from ..sim.metrics import Metrics
 from .cache import ReadBlockCache, WriteBehindBuffer
 from .namespace import BSFSFile, NamespaceManager
 
@@ -41,11 +43,18 @@ class BSFS:
         config: Optional[BlobSeerConfig] = None,
         n_providers: int = 8,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
+        if obs is None:
+            obs = service.obs if service is not None else NULL_OBS
+        self.obs = obs
         self.service = service or BlobSeerService(
-            config=config, n_providers=n_providers, seed=seed
+            config=config, n_providers=n_providers, seed=seed, obs=self.obs
         )
         self.namespace = NamespaceManager()
+        #: experiment-level samples/counters; streams push cache and
+        #: write-behind totals here when they close
+        self.metrics = Metrics()
 
     def file_system(self, client_name: str = "client") -> "BSFSFileSystem":
         """A client endpoint bound to this deployment."""
@@ -156,6 +165,9 @@ class BSFSOutputStream(OutputStream):
         )
         #: number of BLOB appends issued (tests the write-behind batching)
         self.appends_issued = 0
+        obs = fs.deployment.obs
+        self._tracer = obs.tracer
+        self._c_flushes = obs.registry.counter("bsfs.writebehind.flushes")
 
     def write(self, data: bytes) -> int:
         with self._lock:
@@ -188,11 +200,20 @@ class BSFSOutputStream(OutputStream):
                 self._commit(block)
 
     def _commit(self, block: bytes) -> None:
-        _version, offset = self.fs.blob_client.append_with_offset(
-            self.record.blob_id, block
-        )
+        with self._tracer.span(
+            "bsfs.append",
+            cat="bsfs",
+            track=self.fs.client_name,
+            path=self.path,
+            nbytes=len(block),
+        ):
+            _version, offset = self.fs.blob_client.append_with_offset(
+                self.record.blob_id, block
+            )
         self.fs.deployment.namespace.update_size(self.path, offset + len(block))
         self.appends_issued += 1
+        if self._buffer is not None:
+            self._c_flushes.inc()
 
     def tell(self) -> int:
         with self._lock:
@@ -204,6 +225,10 @@ class BSFSOutputStream(OutputStream):
                 return
             self._flush_locked()
             self._closed = True
+            metrics = self.fs.deployment.metrics
+            metrics.bump("bsfs.appends_issued", float(self.appends_issued))
+            if self._buffer is not None:
+                metrics.bump("bsfs.writebehind.flushes", float(self._buffer.flushes))
 
     def discard(self) -> None:
         """Drop buffered data and close without appending it — blocks
@@ -236,8 +261,15 @@ class BSFSInputStream(InputStream):
         self._closed = False
         self._lock = threading.Lock()
         cfg = fs.deployment.config
+        obs = fs.deployment.obs
+        self._tracer = obs.tracer
         self._cache: Optional[ReadBlockCache] = (
-            ReadBlockCache(record.page_size, cfg.cache_blocks)
+            ReadBlockCache(
+                record.page_size,
+                cfg.cache_blocks,
+                on_hit=obs.registry.counter("bsfs.cache.hits").inc,
+                on_miss=obs.registry.counter("bsfs.cache.misses").inc,
+            )
             if cfg.cache_enabled
             else None
         )
@@ -273,14 +305,29 @@ class BSFSInputStream(InputStream):
     def read(self, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            data = self._pread_locked(self._pos, n)
+            with self._tracer.span(
+                "bsfs.read",
+                cat="bsfs",
+                track=self.fs.client_name,
+                path=self.path,
+                nbytes=n,
+            ):
+                data = self._pread_locked(self._pos, n)
             self._pos += len(data)
             return data
 
     def pread(self, offset: int, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            return self._pread_locked(offset, n)
+            with self._tracer.span(
+                "bsfs.read",
+                cat="bsfs",
+                track=self.fs.client_name,
+                path=self.path,
+                offset=offset,
+                nbytes=n,
+            ):
+                return self._pread_locked(offset, n)
 
     def _pread_locked(self, offset: int, n: int) -> bytes:
         if n < 0:
@@ -326,8 +373,13 @@ class BSFSInputStream(InputStream):
 
     def close(self) -> None:
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
             if self._cache is not None:
+                metrics = self.fs.deployment.metrics
+                metrics.bump("bsfs.cache.hits", float(self._cache.hits))
+                metrics.bump("bsfs.cache.misses", float(self._cache.misses))
                 self._cache.invalidate()
 
     def _check_open(self) -> None:

@@ -17,6 +17,8 @@ from ..blobseer.pages import Fragment, fresh_page_id
 from ..blobseer.simulated import BlobSeerRoles, SimBlobSeer
 from ..common.config import BlobSeerConfig
 from ..common.errors import FileNotFoundInNamespaceError
+from ..obs import NULL_OBS, Observability
+from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
@@ -40,20 +42,33 @@ class SimBSFS:
         cluster: SimCluster,
         roles: BSFSRoles,
         config: Optional[BlobSeerConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.roles = roles
-        self.blobseer = SimBlobSeer(cluster, roles.blobseer, config)
+        self.obs = obs or NULL_OBS
+        self.blobseer = SimBlobSeer(cluster, roles.blobseer, config, obs=self.obs)
         self.config = self.blobseer.config
         self.namespace = NamespaceManager()
         self._ns_slot = Resource(self.env, capacity=1)
         self.metrics = Metrics()
+        self._c_ns_rpcs = self.obs.registry.counter("ns.rpcs")
 
     # -- namespace RPC ---------------------------------------------------------
 
-    def _ns_call(self, fn) -> Generator[Event, None, object]:
+    def _ns_call(
+        self,
+        fn,
+        op: str = "call",
+        client: Optional[str] = None,
+        parent: Optional[Span] = None,
+    ) -> Generator[Event, None, object]:
         """Round trip to the namespace manager (serialized service)."""
+        self._c_ns_rpcs.inc()
+        sp = self.obs.tracer.start(
+            f"ns.{op}", cat="bsfs.ns", parent=parent, track=client
+        )
         yield self.env.timeout(self.cluster.config.latency)
         req = yield self._ns_slot.request()
         try:
@@ -62,19 +77,27 @@ class SimBSFS:
         finally:
             self._ns_slot.release(req)
         yield self.env.timeout(self.cluster.config.latency)
+        sp.finish()
         return result
 
     # -- file operations -----------------------------------------------------------
 
     def create_proc(self, client: str, path: str) -> Generator[Event, None, int]:
         """Create an empty file backed by a fresh BLOB; returns blob id."""
+        sp = self.obs.tracer.start(
+            "bsfs.create", cat="bsfs", track=client, path=path
+        )
         blob_id = self.blobseer.create_blob()
         yield self.env.process(
             self._ns_call(
-                lambda: self.namespace.create(path, blob_id, self.config.page_size)
+                lambda: self.namespace.create(path, blob_id, self.config.page_size),
+                op="create",
+                client=client,
+                parent=sp,
             ),
             name="ns-create",
         )
+        sp.finish(blob=blob_id)
         return blob_id
 
     def append_proc(
@@ -85,19 +108,36 @@ class SimBSFS:
         Returns the BLOB version generated.
         """
         start = self.env.now
+        sp = self.obs.tracer.start(
+            "bsfs.append", cat="bsfs", track=client, path=path, nbytes=nbytes
+        )
         record = yield self.env.process(
-            self._ns_call(lambda: self.namespace.get(path)), name="ns-lookup"
+            self._ns_call(
+                lambda: self.namespace.get(path),
+                op="lookup",
+                client=client,
+                parent=sp,
+            ),
+            name="ns-lookup",
         )
         version = yield self.env.process(
-            self.blobseer.append_proc(client, record.blob_id, nbytes, record=False),
+            self.blobseer.append_proc(
+                client, record.blob_id, nbytes, record=False, parent=sp
+            ),
             name="blob-append",
         )
         # the appender learns its end offset from the version it created
         size = self.blobseer.core.get_version(record.blob_id, version).size
         yield self.env.process(
-            self._ns_call(lambda: self.namespace.update_size(path, size)),
+            self._ns_call(
+                lambda: self.namespace.update_size(path, size),
+                op="update_size",
+                client=client,
+                parent=sp,
+            ),
             name="ns-size",
         )
+        sp.finish(version=version)
         self.metrics.record(client, "append", start, self.env.now, nbytes)
         return version
 
@@ -106,15 +146,30 @@ class SimBSFS:
     ) -> Generator[Event, None, int]:
         """Read a file range; returns the BLOB version served."""
         start = self.env.now
+        sp = self.obs.tracer.start(
+            "bsfs.read",
+            cat="bsfs",
+            track=client,
+            path=path,
+            offset=offset,
+            nbytes=nbytes,
+        )
         record = yield self.env.process(
-            self._ns_call(lambda: self.namespace.get(path)), name="ns-lookup"
+            self._ns_call(
+                lambda: self.namespace.get(path),
+                op="lookup",
+                client=client,
+                parent=sp,
+            ),
+            name="ns-lookup",
         )
         version = yield self.env.process(
             self.blobseer.read_proc(
-                client, record.blob_id, offset, nbytes, record=False
+                client, record.blob_id, offset, nbytes, record=False, parent=sp
             ),
             name="blob-read",
         )
+        sp.finish(version=version)
         self.metrics.record(client, "read", start, self.env.now, nbytes)
         return version
 

@@ -11,10 +11,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List
+from typing import List, Optional
 
+from ..obs import (
+    Observability,
+    text_summary,
+    write_chrome_trace,
+    write_text_summary,
+)
 from .figures import ALL_FIGURES, fig3, fig4, fig5, fig6, filecount_table
+
+
+def _suffixed(path: str, name: str, multi: bool) -> str:
+    """``out.json`` -> ``out-fig3.json`` when several figures run."""
+    if not multi:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}-{name}{ext}"
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -55,6 +70,27 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="also render each figure as an ASCII chart",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "capture spans while the figure runs and write a Chrome "
+            "trace_event JSON to PATH (load it in chrome://tracing or "
+            "ui.perfetto.dev); with multiple figures the figure name is "
+            "appended to the file name"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the plain-text metrics summary (counters, histogram "
+            "percentiles, cache hit-rate) to PATH; implies collection "
+            "even without --trace"
+        ),
+    )
     args = parser.parse_args(argv)
 
     config = None
@@ -64,18 +100,34 @@ def main(argv: List[str] | None = None) -> int:
         config = ExperimentConfig(repetitions=args.reps)
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    observe = args.trace is not None or args.metrics_out is not None
+    multi = len(names) > 1
     results = []
     for name in names:
         fn = ALL_FIGURES[name]
+        # one fresh Observability per figure: each figure binds the
+        # tracer clock to its own runtime (sim time vs wall clock)
+        obs: Optional[Observability] = Observability.on() if observe else None
         if name == "filecount":
-            result = fn()
+            result = fn(obs=obs)
         else:
-            result = fn(scale=args.scale, config=config)
+            result = fn(scale=args.scale, config=config, obs=obs)
         results.append(result)
         print(result.to_text())
         if args.chart:
             print()
             print(result.to_ascii_chart())
+        if obs is not None:
+            print()
+            print(text_summary(obs.registry, obs.tracer))
+            if args.trace:
+                trace_path = _suffixed(args.trace, name, multi)
+                write_chrome_trace(obs.tracer, trace_path)
+                print(f"wrote {trace_path} ({len(obs.tracer)} spans)")
+            if args.metrics_out:
+                metrics_path = _suffixed(args.metrics_out, name, multi)
+                write_text_summary(obs.registry, metrics_path, obs.tracer)
+                print(f"wrote {metrics_path}")
         print()
     if args.json:
         with open(args.json, "w") as fp:

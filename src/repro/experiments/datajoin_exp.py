@@ -28,8 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, List, Sequence, Tuple
 
+from typing import Optional
+
 from ..common.config import ExperimentConfig
 from ..common.units import MiB
+from ..obs import NULL_OBS, Observability
 from ..sim.core import Event
 from .deploy import deploy_bsfs, deploy_hdfs
 
@@ -80,10 +83,13 @@ def run_datajoin_hdfs(
     n_reducers: int,
     config: ExperimentConfig,
     calibration: DataJoinCalibration | None = None,
+    obs: Optional[Observability] = None,
 ) -> DataJoinPoint:
     """One Figure 6 point, original framework + HDFS."""
     cal = calibration or DataJoinCalibration()
-    dep = deploy_hdfs(config)
+    obs = obs or NULL_OBS
+    tracer = obs.tracer
+    dep = deploy_hdfs(config, obs=obs)
     hdfs, cluster = dep.hdfs, dep.cluster
     env = cluster.env
     hdfs.preload("/join/input-a", cal.input_bytes // 2)
@@ -97,6 +103,9 @@ def run_datajoin_hdfs(
     map_hosts = map_hosts[: cal.n_map_tasks]
 
     def map_task(host: str, path: str, offset: int) -> Generator[Event, None, None]:
+        sp = tracer.start(
+            "mr.map_task", cat="mapreduce", track=host, scenario="hdfs", path=path
+        )
         yield env.timeout(cal.task_overhead_seconds)
         yield env.process(hdfs.read_proc(host, path, offset, cal.chunk_bytes))
         yield env.timeout(cal.map_seconds_per_chunk)
@@ -104,18 +113,29 @@ def run_datajoin_hdfs(
         yield cluster.node(host).disk.write(
             int(cal.chunk_bytes * cal.intermediate_expansion)
         )
+        sp.finish()
 
     def reduce_task(
         host: str, partition: int, out_bytes: int
     ) -> Generator[Event, None, None]:
+        sp = tracer.start(
+            "mr.reduce_task",
+            cat="mapreduce",
+            track=host,
+            scenario="hdfs",
+            partition=partition,
+        )
         yield env.timeout(cal.task_overhead_seconds)
+        sp_sh = tracer.start("mr.shuffle", cat="mapreduce", parent=sp)
         yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        sp_sh.finish(n_maps=len(map_hosts))
         yield env.timeout(
             cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
         )
         yield env.process(
             hdfs.write_file_proc(host, f"/join/out/part-{partition:05d}", out_bytes)
         )
+        sp.finish()
 
     completion = _run_job(
         env,
@@ -137,10 +157,13 @@ def run_datajoin_bsfs(
     n_reducers: int,
     config: ExperimentConfig,
     calibration: DataJoinCalibration | None = None,
+    obs: Optional[Observability] = None,
 ) -> DataJoinPoint:
     """One Figure 6 point, modified framework + BSFS (shared output file)."""
     cal = calibration or DataJoinCalibration()
-    dep = deploy_bsfs(config)
+    obs = obs or NULL_OBS
+    tracer = obs.tracer
+    dep = deploy_bsfs(config, obs=obs)
     bsfs, cluster = dep.bsfs, dep.cluster
     env = cluster.env
     env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/join/input-a")))
@@ -157,23 +180,37 @@ def run_datajoin_bsfs(
     map_hosts = map_hosts[: cal.n_map_tasks]
 
     def map_task(host: str, path: str, offset: int) -> Generator[Event, None, None]:
+        sp = tracer.start(
+            "mr.map_task", cat="mapreduce", track=host, scenario="bsfs", path=path
+        )
         yield env.timeout(cal.task_overhead_seconds)
         yield env.process(bsfs.read_proc(host, path, offset, cal.chunk_bytes))
         yield env.timeout(cal.map_seconds_per_chunk)
         yield cluster.node(host).disk.write(
             int(cal.chunk_bytes * cal.intermediate_expansion)
         )
+        sp.finish()
 
     def reduce_task(
         host: str, partition: int, out_bytes: int
     ) -> Generator[Event, None, None]:
+        sp = tracer.start(
+            "mr.reduce_task",
+            cat="mapreduce",
+            track=host,
+            scenario="bsfs",
+            partition=partition,
+        )
         yield env.timeout(cal.task_overhead_seconds)
+        sp_sh = tracer.start("mr.shuffle", cat="mapreduce", parent=sp)
         yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        sp_sh.finish(n_maps=len(map_hosts))
         yield env.timeout(
             cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
         )
         # the modified framework: append to the single shared file
         yield env.process(bsfs.append_proc(host, "/join/out-shared", out_bytes))
+        sp.finish()
 
     completion = _run_job(
         env,
@@ -260,8 +297,13 @@ def sweep(
     reducer_counts: Sequence[int],
     config: ExperimentConfig,
     calibration: DataJoinCalibration | None = None,
+    obs: Optional[Observability] = None,
 ) -> Tuple[List[DataJoinPoint], List[DataJoinPoint]]:
     """Figure 6's two series: (HDFS-separate, BSFS-shared)."""
-    hdfs_pts = [run_datajoin_hdfs(r, config, calibration) for r in reducer_counts]
-    bsfs_pts = [run_datajoin_bsfs(r, config, calibration) for r in reducer_counts]
+    hdfs_pts = [
+        run_datajoin_hdfs(r, config, calibration, obs=obs) for r in reducer_counts
+    ]
+    bsfs_pts = [
+        run_datajoin_bsfs(r, config, calibration, obs=obs) for r in reducer_counts
+    ]
     return hdfs_pts, bsfs_pts

@@ -12,12 +12,13 @@ on the same machines as the datanodes / data providers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..blobseer.simulated import BlobSeerRoles
 from ..bsfs.simulated import BSFSRoles, SimBSFS
 from ..common.config import ExperimentConfig
 from ..hdfs.simulated import HDFSRoles, SimHDFS
+from ..obs import Observability
 from ..sim.cluster import SimCluster
 
 
@@ -40,7 +41,9 @@ class HDFSDeployment:
     client_nodes: List[str]
 
 
-def deploy_bsfs(config: ExperimentConfig) -> BSFSDeployment:
+def deploy_bsfs(
+    config: ExperimentConfig, obs: Optional[Observability] = None
+) -> BSFSDeployment:
     """Materialize the paper's BSFS deployment on a fresh simulation."""
     config.validate()
     cluster = SimCluster(config.cluster)
@@ -61,7 +64,7 @@ def deploy_bsfs(config: ExperimentConfig) -> BSFSDeployment:
         ),
         namespace_manager=names[2],
     )
-    bsfs = SimBSFS(cluster, roles, config.blobseer)
+    bsfs = SimBSFS(cluster, roles, config.blobseer, obs=obs)
     return BSFSDeployment(
         cluster=cluster,
         bsfs=bsfs,
@@ -69,10 +72,16 @@ def deploy_bsfs(config: ExperimentConfig) -> BSFSDeployment:
     )
 
 
-def deploy_hdfs(config: ExperimentConfig) -> HDFSDeployment:
+def deploy_hdfs(
+    config: ExperimentConfig, obs: Optional[Observability] = None
+) -> HDFSDeployment:
     """Materialize the paper's HDFS deployment on a fresh simulation."""
     config.validate()
     cluster = SimCluster(config.cluster)
+    if obs is not None and obs.tracer.enabled:
+        # HDFS internals are not traced, but experiment-level spans over
+        # this deployment should carry simulated timestamps
+        obs.tracer.use_clock(lambda: cluster.env.now)
     names = cluster.names()
     roles = HDFSRoles(namenode=names[0], datanodes=tuple(names[1:]))
     hdfs = SimHDFS(cluster, roles, config.hdfs)

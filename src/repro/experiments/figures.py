@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..common.config import ExperimentConfig
+from ..obs import Observability
 from . import microbench
 from .datajoin_exp import DataJoinCalibration, sweep as datajoin_sweep
 from .report import FigureResult, Series
@@ -35,7 +36,9 @@ def _sweep(scale: str, paper: Sequence[int], quick: Sequence[int]) -> List[int]:
 
 
 def fig3(
-    scale: str = "quick", config: Optional[ExperimentConfig] = None
+    scale: str = "quick",
+    config: Optional[ExperimentConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """Figure 3: performance of BSFS when concurrent clients append data
     to the same file."""
@@ -45,7 +48,7 @@ def fig3(
         paper=[1, 30, 60, 90, 120, 150, 180, 210, 246],
         quick=[1, 60, 120, 180, 246],
     )
-    points = microbench.concurrent_appends(counts, cfg)
+    points = microbench.concurrent_appends(counts, cfg, obs=obs)
     return FigureResult(
         fig_id="fig3",
         title="Concurrent appends to the same file (BSFS)",
@@ -62,7 +65,9 @@ def fig3(
 
 
 def fig4(
-    scale: str = "quick", config: Optional[ExperimentConfig] = None
+    scale: str = "quick",
+    config: Optional[ExperimentConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """Figure 4: impact of concurrent appends on concurrent reads from
     the same file (100 readers fixed)."""
@@ -72,7 +77,7 @@ def fig4(
         paper=[0, 20, 40, 60, 80, 100, 120, 140],
         quick=[0, 60, 140],
     )
-    points = microbench.reads_under_appends(counts, cfg)
+    points = microbench.reads_under_appends(counts, cfg, obs=obs)
     return FigureResult(
         fig_id="fig4",
         title="Impact of concurrent appends on reads (100 readers)",
@@ -89,7 +94,9 @@ def fig4(
 
 
 def fig5(
-    scale: str = "quick", config: Optional[ExperimentConfig] = None
+    scale: str = "quick",
+    config: Optional[ExperimentConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """Figure 5: impact of concurrent reads on concurrent appends to the
     same file (100 appenders fixed)."""
@@ -99,7 +106,7 @@ def fig5(
         paper=[0, 20, 40, 60, 80, 100, 120, 140],
         quick=[0, 60, 140],
     )
-    points = microbench.appends_under_reads(counts, cfg)
+    points = microbench.appends_under_reads(counts, cfg, obs=obs)
     return FigureResult(
         fig_id="fig5",
         title="Impact of concurrent reads on appends (100 appenders)",
@@ -119,6 +126,7 @@ def fig6(
     scale: str = "quick",
     config: Optional[ExperimentConfig] = None,
     calibration: Optional[DataJoinCalibration] = None,
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """Figure 6: completion time of the data join application when
     varying the number of reducers, HDFS-separate vs BSFS-shared."""
@@ -128,7 +136,7 @@ def fig6(
         paper=[1, 10, 30, 60, 90, 130, 170, 200, 230],
         quick=[1, 10, 130, 230],
     )
-    hdfs_pts, bsfs_pts = datajoin_sweep(counts, cfg, calibration)
+    hdfs_pts, bsfs_pts = datajoin_sweep(counts, cfg, calibration, obs=obs)
     return FigureResult(
         fig_id="fig6",
         title="Data join completion time vs number of reducers",
@@ -161,7 +169,9 @@ def fig6(
 
 
 def supplementary_separate_writes(
-    scale: str = "quick", config: Optional[ExperimentConfig] = None
+    scale: str = "quick",
+    config: Optional[ExperimentConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """Supplementary (not a paper figure): N clients each write one
     64 MB chunk to a private file, HDFS vs BSFS — the file-system-level
@@ -172,7 +182,7 @@ def supplementary_separate_writes(
         paper=[1, 30, 60, 120, 180, 246],
         quick=[1, 60, 180],
     )
-    hdfs_pts, bsfs_pts = microbench.separate_writes_comparison(counts, cfg)
+    hdfs_pts, bsfs_pts = microbench.separate_writes_comparison(counts, cfg, obs=obs)
     return FigureResult(
         fig_id="sup-writes",
         title="Separate-file writes: HDFS vs BSFS (supplementary)",
@@ -198,10 +208,13 @@ def supplementary_separate_writes(
 
 def filecount_table(
     reducer_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    obs: Optional[Observability] = None,
 ) -> FigureResult:
     """The file-count problem (implicit table): output files and
     namespace entries after the data join, original vs modified
     framework — functional runtimes, real bytes."""
+    import time as _time
+
     from ..bsfs import BSFS
     from ..common.config import BlobSeerConfig, HDFSConfig
     from ..hdfs import HDFSCluster
@@ -209,6 +222,9 @@ def filecount_table(
     from ..apps import run_datajoin
     from ..workloads import kv_corpus
 
+    if obs is not None and obs.tracer.enabled:
+        # this table runs the threaded runtime: wall-clock timestamps
+        obs.tracer.use_clock(_time.perf_counter)
     left = kv_corpus(300, key_space=40, seed=11)
     right = kv_corpus(300, key_space=40, seed=12)
     hdfs_files: List[float] = []
@@ -220,7 +236,7 @@ def filecount_table(
         fs = hd.file_system()
         fs.write_all("/in/left", left)
         fs.write_all("/in/right", right)
-        mr = MapReduceCluster(fs, hosts=list(hd.datanodes))
+        mr = MapReduceCluster(fs, hosts=list(hd.datanodes), obs=obs)
         res = run_datajoin(mr, "/in/left", "/in/right", "/out", n_reducers=r)
         hdfs_files.append(res.output_file_count)
         _dirs, files = hd.namenode.tree.count_entries()
@@ -229,12 +245,13 @@ def filecount_table(
         dep = BSFS(
             config=BlobSeerConfig(page_size=16 * 1024, metadata_providers=4),
             n_providers=4,
+            obs=obs,
         )
         bfs = dep.file_system()
         bfs.write_all("/in/left", left)
         bfs.write_all("/in/right", right)
         mr2 = MapReduceCluster(
-            bfs, hosts=[f"provider-{i:03d}" for i in range(4)]
+            bfs, hosts=[f"provider-{i:03d}" for i in range(4)], obs=obs
         )
         res2 = run_datajoin(
             mr2, "/in/left", "/in/right", "/out", n_reducers=r, output_mode="shared"

@@ -14,8 +14,11 @@ from typing import Generator, List, Sequence
 
 import numpy as np
 
+from typing import Optional
+
 from ..common.config import ExperimentConfig
 from ..common.units import MiB
+from ..obs import Observability
 from ..sim.core import Event
 from .deploy import BSFSDeployment, deploy_bsfs
 
@@ -69,6 +72,7 @@ def concurrent_appends(
     client_counts: Sequence[int],
     config: ExperimentConfig,
     chunks_per_client: int = 1,
+    obs: Optional[Observability] = None,
 ) -> List[DataPoint]:
     """Figure 3: N concurrent clients each append a 64 MB chunk to the
     same file; report the average append throughput per client."""
@@ -78,7 +82,7 @@ def concurrent_appends(
             raise ValueError("client counts must be >= 1")
         samples: List[float] = []
         for rep in range(config.repetitions):
-            dep = deploy_bsfs(_rep_config(config, rep))
+            dep = deploy_bsfs(_rep_config(config, rep), obs=obs)
             bsfs = dep.bsfs
             env = dep.cluster.env
             env.run(env.process(bsfs.create_proc(dep.client_nodes[0], "/bench/shared")))
@@ -111,12 +115,13 @@ def _mixed_workload(
     n_appenders: int,
     chunks_per_appender: int,
     rep: int,
+    obs: Optional[Observability] = None,
 ) -> BSFSDeployment:
     """Shared setup of Figures 4 and 5: *n_readers* clients each read
     *chunks_per_reader* 64 MB chunks from disjoint regions of a shared
     file while *n_appenders* clients each append *chunks_per_appender*
     chunks to it."""
-    dep = deploy_bsfs(_rep_config(config, rep))
+    dep = deploy_bsfs(_rep_config(config, rep), obs=obs)
     bsfs = dep.bsfs
     env = dep.cluster.env
     path = "/bench/shared"
@@ -152,6 +157,7 @@ def _mixed_workload(
 def separate_writes_comparison(
     client_counts: Sequence[int],
     config: ExperimentConfig,
+    obs: Optional[Observability] = None,
 ) -> "tuple[List[DataPoint], List[DataPoint]]":
     """Supplementary head-to-head: N clients each write one 64 MB chunk
     to their *own* file — the only write pattern both systems support
@@ -172,7 +178,7 @@ def separate_writes_comparison(
         bsfs_samples: List[float] = []
         for rep in range(config.repetitions):
             # HDFS: one file per client (Figure 1's pattern)
-            dep_h = deploy_hdfs(_rep_config(config, rep))
+            dep_h = deploy_hdfs(_rep_config(config, rep), obs=obs)
             env = dep_h.cluster.env
             procs = [
                 env.process(
@@ -190,7 +196,7 @@ def separate_writes_comparison(
             )
 
             # BSFS: one file per client, written via append
-            dep_b = deploy_bsfs(_rep_config(config, rep))
+            dep_b = deploy_bsfs(_rep_config(config, rep), obs=obs)
             env = dep_b.cluster.env
             clients = _client_nodes(dep_b, n)
             for i, c in enumerate(clients):
@@ -221,6 +227,7 @@ def reads_under_appends(
     n_readers: int = 100,
     chunks_per_reader: int = 10,
     chunks_per_appender: int = 16,
+    obs: Optional[Observability] = None,
 ) -> List[DataPoint]:
     """Figure 4: fixed 100 readers (10 chunks each); sweep the number of
     concurrent appenders (16 chunks each); report read throughput."""
@@ -229,7 +236,8 @@ def reads_under_appends(
         samples: List[float] = []
         for rep in range(config.repetitions):
             dep = _mixed_workload(
-                config, n_readers, chunks_per_reader, n_app, chunks_per_appender, rep
+                config, n_readers, chunks_per_reader, n_app, chunks_per_appender,
+                rep, obs=obs,
             )
             samples.append(
                 dep.bsfs.metrics.average_client_throughput("read") / MiB
@@ -251,6 +259,7 @@ def appends_under_reads(
     n_appenders: int = 100,
     chunks_per_reader: int = 10,
     chunks_per_appender: int = 10,
+    obs: Optional[Observability] = None,
 ) -> List[DataPoint]:
     """Figure 5: fixed 100 appenders; sweep the number of concurrent
     readers; both access 10 chunks of 64 MB; report append throughput."""
@@ -259,7 +268,8 @@ def appends_under_reads(
         samples: List[float] = []
         for rep in range(config.repetitions):
             dep = _mixed_workload(
-                config, n_read, chunks_per_reader, n_appenders, chunks_per_appender, rep
+                config, n_read, chunks_per_reader, n_appenders, chunks_per_appender,
+                rep, obs=obs,
             )
             samples.append(
                 dep.bsfs.metrics.average_client_throughput("append") / MiB

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 from ..common.config import MapReduceConfig
 from ..common.errors import JobFailedError, TaskFailedError
 from ..common.fs import FileSystem
+from ..obs import NULL_OBS, Observability
 from .io.committers import OutputCommitter, make_committer
 from .io.input import FileSplit, compute_splits
 from .job import Counters, JobConf
@@ -27,14 +28,23 @@ class JobInProgress:
     """One submitted job's complete runtime state (thread-safe)."""
 
     def __init__(
-        self, conf: JobConf, fs: FileSystem, config: MapReduceConfig
+        self,
+        conf: JobConf,
+        fs: FileSystem,
+        config: MapReduceConfig,
+        obs: Optional[Observability] = None,
     ) -> None:
         conf.validate(fs)
         self.conf = conf
         self.fs = fs
         self.config = config
+        self.obs = obs or NULL_OBS
+        self._c_maps_local = self.obs.registry.counter("mr.maps_local")
+        self._c_maps_remote = self.obs.registry.counter("mr.maps_remote")
+        self._c_map_failures = self.obs.registry.counter("mr.map_failures")
+        self._c_reduce_failures = self.obs.registry.counter("mr.reduce_failures")
         self.counters = Counters()
-        self.map_outputs = MapOutputStore()
+        self.map_outputs = MapOutputStore(obs=self.obs)
         self.committer: OutputCommitter = make_committer(
             conf.output_mode, fs, conf.output_dir
         )
@@ -97,6 +107,7 @@ class JobInProgress:
             task.assigned_to = host
             task.attempts += 1
             task.data_local = host in task.split.hosts
+            (self._c_maps_local if task.data_local else self._c_maps_remote).inc()
             return task
 
     def next_reduce_task(self, host: str) -> Optional[ReduceTaskInfo]:
@@ -123,6 +134,7 @@ class JobInProgress:
     def map_failed(self, task: MapTaskInfo, error: Exception) -> None:
         """Re-queue the attempt or fail the job when retries are exhausted."""
         self.map_outputs.discard_map(task.task_id)
+        self._c_map_failures.inc()
         with self._lock:
             if task.attempts >= self.config.max_task_attempts:
                 task.state = TaskState.FAILED
@@ -139,6 +151,7 @@ class JobInProgress:
             task.output_path = output_path
 
     def reduce_failed(self, task: ReduceTaskInfo, error: Exception) -> None:
+        self._c_reduce_failures.inc()
         with self._lock:
             if task.attempts >= self.config.max_task_attempts:
                 task.state = TaskState.FAILED

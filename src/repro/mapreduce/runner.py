@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from ..common.config import MapReduceConfig
 from ..common.fs import FileSystem
+from ..obs import NULL_OBS, Observability
 from .job import JobConf, JobResult
 from .jobtracker import JobInProgress
 from .tasktracker import TaskTracker
@@ -32,8 +33,10 @@ class MapReduceCluster:
         hosts: Optional[Sequence[str]] = None,
         n_tasktrackers: int = 4,
         config: Optional[MapReduceConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.fs = fs
+        self.obs = obs or NULL_OBS
         self.config = config or MapReduceConfig()
         self.config.validate()
         if hosts is None:
@@ -60,7 +63,10 @@ class MapReduceCluster:
             # cluster-wide "modified framework" switch
             conf.output_mode = "shared"
         start = time.perf_counter()
-        jip = JobInProgress(conf, self.fs, self.config)
+        sp = self.obs.tracer.start(
+            "mr.job", cat="mapreduce", track="jobtracker", job=conf.name
+        )
+        jip = JobInProgress(conf, self.fs, self.config, obs=self.obs)
         self.last_job = jip
         threads: List = []
         for tracker in self.tasktrackers:
@@ -68,6 +74,14 @@ class MapReduceCluster:
         for t in threads:
             t.join()
         output_files = jip.finish()
+        sp.finish(
+            n_maps=len(jip.map_tasks),
+            n_reduces=len(jip.reduce_tasks),
+            locality=jip.locality_fraction(),
+        )
+        self.obs.registry.gauge("mr.locality_fraction").set(
+            jip.locality_fraction()
+        )
         elapsed = time.perf_counter() - start
         return JobResult(
             job_name=conf.name,

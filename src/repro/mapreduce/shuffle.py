@@ -15,6 +15,7 @@ import itertools
 import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import NULL_OBS, Observability
 from .job import Context, Counters, Partitioner, ReduceFunction
 
 #: one map output partition: key-sorted (key, value) pairs
@@ -25,22 +26,28 @@ class MapOutputStore:
     """Holds every map task's partitioned, sorted output until reducers
     fetch it (Hadoop: tasktracker-local files served over HTTP)."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._data: Dict[Tuple[int, int], Partition] = {}
         self._lock = threading.Lock()
         #: lifetime counter of stored bytes-ish (pair count)
         self.pairs_stored = 0
+        obs = obs or NULL_OBS
+        self._c_pairs_stored = obs.registry.counter("mr.shuffle.pairs_stored")
+        self._c_pairs_fetched = obs.registry.counter("mr.shuffle.pairs_fetched")
 
     def put(self, map_id: int, partition: int, pairs: Partition) -> None:
         """Park one partition of one map task's output."""
         with self._lock:
             self._data[(map_id, partition)] = pairs
             self.pairs_stored += len(pairs)
+            self._c_pairs_stored.inc(float(len(pairs)))
 
     def get(self, map_id: int, partition: int) -> Partition:
         """Fetch one partition of one map task's output (empty if none)."""
         with self._lock:
-            return self._data.get((map_id, partition), [])
+            pairs = self._data.get((map_id, partition), [])
+            self._c_pairs_fetched.inc(float(len(pairs)))
+            return pairs
 
     def discard_map(self, map_id: int) -> None:
         """Drop a failed attempt's output before the retry re-stores it."""

@@ -57,9 +57,15 @@ def execute_reduce_task(
     write through the committer; returns the committed output path."""
     conf = jip.conf
     counters = jip.counters
-    partitions = [
-        jip.map_outputs.get(m.task_id, task.partition) for m in jip.map_tasks
-    ]
+    with jip.obs.tracer.span(
+        "mr.shuffle_fetch",
+        cat="mapreduce",
+        partition=task.partition,
+        n_maps=len(jip.map_tasks),
+    ):
+        partitions = [
+            jip.map_outputs.get(m.task_id, task.partition) for m in jip.map_tasks
+        ]
     stream = jip.committer.open_task_output(task.partition, task.attempts)
     writer = TextRecordWriter(stream)
     ctx = Context(counters)
@@ -136,7 +142,15 @@ class TaskTracker:
                 time.sleep(_POLL_INTERVAL)
                 continue
             try:
-                execute_map_task(self.fs, jip, task)
+                with jip.obs.tracer.span(
+                    "mr.map_task",
+                    cat="mapreduce",
+                    track=self.host,
+                    task=task.task_id,
+                    attempt=task.attempts,
+                    data_local=task.data_local,
+                ):
+                    execute_map_task(self.fs, jip, task)
             except Exception as exc:
                 jip.map_failed(task, exc)
             else:
@@ -150,7 +164,14 @@ class TaskTracker:
                 time.sleep(_POLL_INTERVAL)
                 continue
             try:
-                path = execute_reduce_task(self.fs, jip, task)
+                with jip.obs.tracer.span(
+                    "mr.reduce_task",
+                    cat="mapreduce",
+                    track=self.host,
+                    task=task.task_id,
+                    attempt=task.attempts,
+                ):
+                    path = execute_reduce_task(self.fs, jip, task)
             except Exception as exc:
                 jip.committer.abort_task(task.partition, task.attempts)
                 jip.reduce_failed(task, exc)

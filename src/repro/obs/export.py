@@ -1,0 +1,188 @@
+"""Exporters: Chrome ``trace_event`` JSON and an aligned text summary.
+
+The Chrome format (one ``"X"`` complete event per finished span, with
+microsecond timestamps and per-track ``tid``/``thread_name`` metadata)
+loads directly into ``chrome://tracing`` or https://ui.perfetto.dev —
+drop the file in and every append's version-assignment wait, metadata
+turn, and page shipping nest visually per client.
+
+The text summary is the terminal companion: counters, gauges,
+histogram percentiles, and a derived section (cache hit-rate, map
+locality) aligned for reading next to a figure's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's finished spans as a Chrome ``trace_event`` document."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    spans = tracer.finished()
+    for span in spans:
+        tid = tids.get(span.track)
+        if tid is None:
+            tid = tids[span.track] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": span.track},
+                }
+            )
+    for span in spans:
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.cat or "default",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": 1,
+            "tid": tids[span.track],
+        }
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Serialize :func:`chrome_trace` to *path*."""
+    with open(path, "w") as fp:
+        json.dump(chrome_trace(tracer), fp)
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    """Right-align *rows* (first column left) under *header*."""
+    if not rows:
+        return []
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows))
+        for c in range(len(header))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join([first] + rest)
+
+    return [fmt(header), "  ".join("-" * w for w in widths)] + [
+        fmt(r) for r in rows
+    ]
+
+
+def _rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    if total <= 0:
+        return "n/a (no cache traffic)"
+    return f"{100.0 * hits / total:.1f}% ({hits:g} hits / {misses:g} misses)"
+
+
+def text_summary(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """An aligned plain-text readout of one run's metrics (and spans)."""
+    lines: List[str] = ["== observability summary =="]
+
+    counters = registry.counters()
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        lines.extend(
+            _table(
+                ["name", "value"],
+                [[n, f"{v:g}"] for n, v in counters.items()],
+            )
+        )
+
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        lines.extend(
+            _table(
+                ["name", "value"],
+                [[n, f"{v:g}"] for n, v in gauges.items()],
+            )
+        )
+
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        rows = []
+        for name, hist in histograms.items():
+            s = hist.summary()
+            rows.append(
+                [name]
+                + [
+                    f"{s[k]:g}" if k == "count" else f"{s[k]:.6g}"
+                    for k in ("count", "mean", "p50", "p95", "p99", "max")
+                ]
+            )
+        lines.extend(
+            _table(
+                ["name", "count", "mean", "p50", "p95", "p99", "max"], rows
+            )
+        )
+
+    # derived readouts the benchmarks care about, always reported
+    lines.append("")
+    lines.append("derived:")
+    lines.append(
+        "cache hit-rate: "
+        + _rate(
+            registry.value("bsfs.cache.hits"),
+            registry.value("bsfs.cache.misses"),
+        )
+    )
+    maps_local = registry.value("mr.maps_local")
+    maps_total = maps_local + registry.value("mr.maps_remote")
+    if maps_total > 0:
+        lines.append(
+            f"map locality: {100.0 * maps_local / maps_total:.1f}% "
+            f"({maps_local:g} of {maps_total:g} map attempts data-local)"
+        )
+
+    if tracer is not None and len(tracer):
+        lines.append("")
+        lines.append("spans:")
+        per_cat: Dict[str, List[float]] = {}
+        for span in tracer.finished():
+            per_cat.setdefault(span.cat or "default", []).append(
+                span.end - span.start
+            )
+        rows = [
+            [cat, f"{len(durs)}", f"{sum(durs):.6g}"]
+            for cat, durs in sorted(per_cat.items())
+        ]
+        lines.extend(_table(["category", "count", "total_s"], rows))
+
+    return "\n".join(lines)
+
+
+def write_text_summary(
+    registry: MetricsRegistry, path: str, tracer: Optional[Tracer] = None
+) -> None:
+    """Serialize :func:`text_summary` to *path*."""
+    with open(path, "w") as fp:
+        fp.write(text_summary(registry, tracer) + "\n")

@@ -1,0 +1,249 @@
+"""A metrics registry: counters, gauges, and percentile histograms.
+
+Instruments are created (or fetched) by name from a
+:class:`MetricsRegistry`; components hold the returned handle, so the
+hot-path cost of an increment is one method call on a small object.
+A disabled registry hands out shared null instruments whose methods do
+nothing, which is what lets every component take a registry
+unconditionally.
+
+Histograms keep their raw samples (experiment runs observe thousands,
+not millions, of values) and report linearly interpolated percentiles,
+matching ``numpy.percentile``'s default so tests can cross-check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, imbalance ratio, …)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """A distribution of observed values with percentile readout."""
+
+    __slots__ = ("name", "_samples", "_sorted", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self.total += value
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100), linearly interpolated between
+        order statistics — numpy's default method. 0.0 when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = (p / 100.0) * (len(self._samples) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if frac == 0.0 or lo + 1 >= len(self._samples):
+            return self._samples[lo]
+        return self._samples[lo] + frac * (self._samples[lo + 1] - self._samples[lo])
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/min/p50/p95/p99/max in one dict."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+    total = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": 0.0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments for one run; get-or-create, thread-safe."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._get(name, Histogram)
+
+    # -- readout --------------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Name → value of every counter, sorted by name."""
+        with self._lock:
+            return {
+                n: i.value
+                for n, i in sorted(self._instruments.items())
+                if isinstance(i, Counter)
+            }
+
+    def gauges(self) -> Dict[str, float]:
+        """Name → value of every gauge, sorted by name."""
+        with self._lock:
+            return {
+                n: i.value
+                for n, i in sorted(self._instruments.items())
+                if isinstance(i, Gauge)
+            }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name → histogram, sorted by name."""
+        with self._lock:
+            return {
+                n: i
+                for n, i in sorted(self._instruments.items())
+                if isinstance(i, Histogram)
+            }
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """A counter/gauge value by name (*default* when absent)."""
+        with self._lock:
+            inst = self._instruments.get(name)
+        if inst is None or isinstance(inst, Histogram):
+            return default
+        return inst.value
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: counters, gauges, histogram summaries."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                n: h.summary() for n, h in self.histograms().items()
+            },
+        }
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            return sorted(self._instruments)

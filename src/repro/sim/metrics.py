@@ -32,9 +32,14 @@ class OpSample:
 
     @property
     def throughput(self) -> float:
-        """Bytes per second of this single operation."""
+        """Bytes per second of this single operation.
+
+        A zero-duration operation (possible in simulation when every
+        modelled cost is zero) reports 0.0 rather than ``inf``: an
+        infinity would poison every mean it enters downstream.
+        """
         if self.duration <= 0:
-            return float("inf")
+            return 0.0
         return self.nbytes / self.duration
 
 
@@ -74,7 +79,7 @@ class Metrics:
             start = min(o.start for o in ops)
             end = max(o.end for o in ops)
             total = sum(o.nbytes for o in ops)
-            out[client] = total / (end - start) if end > start else float("inf")
+            out[client] = total / (end - start) if end > start else 0.0
         return out
 
     def average_client_throughput(self, kind: str) -> float:
@@ -92,7 +97,7 @@ class Metrics:
         start = min(o.start for o in ops)
         end = max(o.end for o in ops)
         total = sum(o.nbytes for o in ops)
-        return total / (end - start) if end > start else float("inf")
+        return total / (end - start) if end > start else 0.0
 
     def makespan(self, kind: str | None = None) -> float:
         """Wall time from the first start to the last end (optionally of

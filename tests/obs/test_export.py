@@ -1,0 +1,93 @@
+"""Exporter tests: Chrome trace round-trip and the text summary."""
+
+import json
+
+from repro.obs import MetricsRegistry, chrome_trace, text_summary, write_chrome_trace
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _traced_pair():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    outer = tracer.start("bsfs.append", cat="bsfs", track="client-0", nbytes=64)
+    clock.t = 0.25
+    inner = tracer.start("vm.assign", cat="blobseer.vm", parent=outer)
+    clock.t = 0.5
+    inner.finish()
+    clock.t = 1.0
+    outer.finish()
+    return tracer, outer, inner
+
+
+def test_chrome_trace_round_trip(tmp_path):
+    tracer, outer, inner = _traced_pair()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path))
+    doc = json.loads(path.read_text())
+
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(xs) == 2
+
+    by_name = {e["name"]: e for e in xs}
+    app = by_name["bsfs.append"]
+    assert app["cat"] == "bsfs"
+    assert app["ts"] == 0.0
+    assert app["dur"] == 1e6  # 1 s in microseconds
+    assert app["pid"] == 1
+    assert app["args"]["nbytes"] == 64
+    assert by_name["vm.assign"]["args"]["parent_id"] == app["args"]["span_id"]
+    # both spans share client-0's track, announced by a thread_name meta
+    assert app["tid"] == by_name["vm.assign"]["tid"]
+    thread_names = {
+        m["args"]["name"] for m in metas if m["name"] == "thread_name"
+    }
+    assert "client-0" in thread_names
+
+
+def test_chrome_trace_skips_open_spans():
+    tracer = Tracer()
+    tracer.start("open-forever")
+    doc = chrome_trace(tracer)
+    assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+def test_text_summary_sections():
+    reg = MetricsRegistry()
+    reg.counter("bsfs.cache.hits").inc(3)
+    reg.counter("bsfs.cache.misses").inc(1)
+    h = reg.histogram("vm.append_ticket_wait_s")
+    for v in (0.1, 0.2, 0.3):
+        h.observe(v)
+    tracer, *_ = _traced_pair()
+
+    out = text_summary(reg, tracer)
+    assert "cache hit-rate: 75.0%" in out
+    assert "vm.append_ticket_wait_s" in out
+    for col in ("count", "mean", "p50", "p95", "p99", "max"):
+        assert col in out
+    # per-category span table
+    assert "blobseer.vm" in out and "bsfs" in out
+
+
+def test_text_summary_without_traffic_or_tracer():
+    out = text_summary(MetricsRegistry())
+    assert "cache hit-rate: n/a" in out
+    assert "spans:" not in out
+
+
+def test_text_summary_map_locality_line():
+    reg = MetricsRegistry()
+    reg.counter("mr.maps_local").inc(3)
+    reg.counter("mr.maps_remote").inc(1)
+    assert "map locality: 75.0%" in text_summary(reg)

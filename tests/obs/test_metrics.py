@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("vm.tickets")
+    c.inc()
+    c.inc(2.5)
+    assert reg.counter("vm.tickets") is c
+    assert reg.counters() == {"vm.tickets": 3.5}
+    assert reg.value("vm.tickets") == 3.5
+    assert reg.value("absent", default=-1.0) == -1.0
+
+
+def test_gauge_set():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue.depth")
+    g.set(4.0)
+    g.set(2.0)
+    assert reg.gauges() == {"queue.depth": 2.0}
+
+
+def test_type_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_histogram_percentiles_match_numpy():
+    h = Histogram("lat")
+    values = list(range(1, 101))  # 1..100
+    for v in values:
+        h.observe(float(v))
+    for p in (0, 25, 50, 75, 90, 95, 99, 100):
+        assert h.percentile(p) == pytest.approx(np.percentile(values, p))
+    # spot-check the interpolated values explicitly
+    assert h.percentile(50) == pytest.approx(50.5)
+    assert h.percentile(95) == pytest.approx(95.05)
+
+
+def test_histogram_known_small_distribution():
+    h = Histogram("lat")
+    for v in (10.0, 20.0, 30.0, 40.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.mean == pytest.approx(25.0)
+    assert h.min == 10.0 and h.max == 40.0
+    assert h.percentile(0) == 10.0
+    assert h.percentile(100) == 40.0
+    assert h.percentile(50) == pytest.approx(25.0)
+
+
+def test_histogram_observe_after_percentile_resorts():
+    h = Histogram("lat")
+    h.observe(5.0)
+    h.observe(1.0)
+    assert h.percentile(100) == 5.0
+    h.observe(0.5)  # arrives out of order after a sorted read
+    assert h.percentile(0) == 0.5
+    assert h.percentile(100) == 5.0
+
+
+def test_empty_histogram_and_bad_percentile():
+    h = Histogram("lat")
+    assert h.percentile(50) == 0.0
+    assert h.summary()["count"] == 0.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_summary_keys():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    h.observe(1.0)
+    s = h.summary()
+    assert set(s) == {"count", "mean", "min", "p50", "p95", "p99", "max"}
+    snap = reg.snapshot()
+    assert snap["histograms"]["lat"]["count"] == 1.0
+
+
+def test_disabled_registry_hands_out_null_instruments():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("a")
+    c.inc(100.0)
+    g = reg.gauge("b")
+    g.set(5.0)
+    h = reg.histogram("c")
+    h.observe(1.0)
+    assert c.value == 0.0 and g.value == 0.0 and h.count == 0
+    # nothing is registered, and handles are shared singletons
+    assert reg.counters() == {} and reg.gauges() == {} and reg.histograms() == {}
+    assert reg.counter("other") is c

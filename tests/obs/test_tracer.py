@@ -1,0 +1,151 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+from repro.obs import NULL_OBS, NULL_SPAN, Observability
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    """A hand-advanced clock standing in for ``env.now``."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def test_explicit_parent_and_timestamps():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    outer = tracer.start("append", cat="blobseer", track="client-0")
+    clock.t = 1.0
+    inner = tracer.start("vm.assign", cat="blobseer.vm", parent=outer)
+    clock.t = 3.0
+    inner.finish()
+    clock.t = 5.0
+    outer.finish(version=7)
+    assert outer.start == 0.0 and outer.end == 5.0
+    assert inner.start == 1.0 and inner.end == 3.0
+    assert inner.parent_id == outer.span_id
+    assert inner.track == "client-0"  # inherited from the parent
+    assert outer.args["version"] == 7
+
+
+def test_with_spans_nest_via_thread_stack():
+    tracer = Tracer()
+    with tracer.span("outer", cat="a") as outer:
+        with tracer.span("inner", cat="b") as inner:
+            assert tracer.current() is inner
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+
+
+def test_finished_in_start_order_even_when_closed_out_of_order():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    a = tracer.start("a")
+    clock.t = 1.0
+    b = tracer.start("b")
+    clock.t = 2.0
+    b.finish()
+    clock.t = 3.0
+    a.finish()
+    assert [s.name for s in tracer.finished()] == ["a", "b"]
+
+
+def test_open_spans_excluded_from_finished():
+    tracer = Tracer()
+    tracer.start("never-closed")
+    with tracer.span("closed"):
+        pass
+    assert [s.name for s in tracer.finished()] == ["closed"]
+    assert len(tracer) == 2
+
+
+def test_finish_is_idempotent():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    sp = tracer.start("op")
+    clock.t = 1.0
+    sp.finish()
+    clock.t = 9.0
+    sp.finish()
+    assert sp.end == 1.0
+
+
+def test_exception_annotates_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("no")
+    except RuntimeError:
+        pass
+    (sp,) = tracer.finished()
+    assert "RuntimeError" in sp.args["error"]
+
+
+def test_use_clock_rebases_past_recorded_spans():
+    tracer = Tracer()
+    first = FakeClock()
+    tracer.use_clock(first, rebase=False)
+    sp = tracer.start("dep1-op")
+    first.t = 10.0
+    sp.finish()
+    # second deployment restarts its sim clock at zero
+    second = FakeClock()
+    tracer.use_clock(second)
+    sp2 = tracer.start("dep2-op")
+    second.t = 1.0
+    sp2.finish()
+    assert sp2.start >= sp.end
+    assert sp2.end == sp2.start + 1.0
+
+
+def test_threads_have_independent_context_stacks():
+    tracer = Tracer()
+    seen = {}
+
+    def worker():
+        assert tracer.current() is None
+        with tracer.span("in-thread", track="t2") as sp:
+            seen["parent_id"] = sp.parent_id
+
+    with tracer.span("main-span"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen["parent_id"] is None  # no cross-thread parenting
+
+
+def test_disabled_tracer_is_a_noop():
+    tracer = Tracer(enabled=False)
+    sp = tracer.start("anything", cat="x", nbytes=1)
+    assert sp is NULL_SPAN
+    with tracer.span("ctx") as sp2:
+        sp2.set(a=1)
+    assert sp2 is NULL_SPAN
+    assert len(tracer) == 0
+    assert tracer.finished() == []
+
+
+def test_null_obs_shared_and_disabled():
+    assert not NULL_OBS.enabled
+    assert NULL_OBS.tracer.start("x") is NULL_SPAN
+    on = Observability.on()
+    assert on.enabled
+    assert on.tracer.start("x") is not NULL_SPAN
+
+
+def test_disabled_overhead_small():
+    """Disabled tracing must be cheap enough to leave compiled in."""
+    import timeit
+
+    tracer = Tracer(enabled=False)
+    per_call = timeit.timeit(lambda: tracer.start("op"), number=10_000) / 10_000
+    # generous bound (microseconds): catches accidental span allocation,
+    # not scheduler jitter
+    assert per_call < 50e-6

@@ -60,3 +60,29 @@ def test_counters():
     m.bump("versions")
     m.bump("versions", 2)
     assert m.counters["versions"] == 3
+
+
+def test_zero_duration_sample_throughput_is_finite():
+    # regression: instantaneous ops used to report inf B/s, which then
+    # poisoned every mean they entered
+    s = OpSample("c", "append", start=1.0, end=1.0, nbytes=100)
+    assert s.throughput == 0.0
+
+
+def test_zero_duration_client_does_not_poison_average():
+    import math
+
+    m = Metrics()
+    m.record("fast", "append", 0.0, 0.0, 100)  # zero busy span
+    m.record("slow", "append", 0.0, 1.0, 100)
+    per = m.per_client_throughput("append")
+    assert per["fast"] == 0.0
+    avg = m.average_client_throughput("append")
+    assert math.isfinite(avg)
+    assert avg == pytest.approx(50.0)
+
+
+def test_zero_span_aggregate_throughput_is_finite():
+    m = Metrics()
+    m.record("a", "read", 2.0, 2.0, 100)
+    assert m.aggregate_throughput("read") == 0.0
