@@ -1,0 +1,61 @@
+"""Perf smoke test — the CI gate on simulator throughput.
+
+Runs a reduced sweep (Figure 3 at quick scale, the tentpole workload:
+up to 246 concurrent appenders) through the bench harness and fails if
+simulated events/sec regresses more than 30% against the committed
+baseline, or if the incremental allocator stops beating the reference
+one outright.
+
+Not part of the tier-1 suite (pyproject collects ``tests/`` only); CI
+runs it as a separate perf-smoke job::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.bench import bench_figure, run_bench, to_json_dict
+
+BASELINE_PATH = pathlib.Path(__file__).with_name("baseline.json")
+
+#: a run is a regression when events/sec drops below this share of the
+#: committed baseline
+REGRESSION_FLOOR = 0.70
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with BASELINE_PATH.open() as fp:
+        return json.load(fp)
+
+
+def test_events_per_s_vs_baseline(baseline):
+    fb = bench_figure(
+        baseline["figure"],
+        baseline["allocator"],
+        scale=baseline["scale"],
+        repeats=2,
+    )
+    assert fb.sim_events > 0 and fb.reallocs > 0, "instruments not wired"
+    floor = REGRESSION_FLOOR * baseline["events_per_s"]
+    assert fb.events_per_s >= floor, (
+        f"simulator throughput regressed: {fb.events_per_s:,.0f} events/s "
+        f"< {floor:,.0f} (= {REGRESSION_FLOOR:.0%} of baseline "
+        f"{baseline['events_per_s']:,.0f}); if the hardware class changed, "
+        f"re-baseline benchmarks/perf/baseline.json"
+    )
+
+
+def test_incremental_beats_reference():
+    runs = run_bench(["fig3"], scale="quick", repeats=2)
+    doc = to_json_dict(runs, scale="quick", repeats=2)
+    speedup = doc["speedup"]["total"]
+    assert speedup > 1.0, (
+        f"incremental allocator no longer faster than reference "
+        f"(speedup {speedup:.2f}x)"
+    )

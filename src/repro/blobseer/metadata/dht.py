@@ -43,17 +43,31 @@ class MetadataDHT:
             {} for _ in range(n_providers)
         ]
         self._locks = [threading.Lock() for _ in range(n_providers)]
+        #: placement is a pure function of the key, and every node is
+        #: hashed several times over its life (placement, recorded
+        #: access, bucket op) — memoize instead of re-running SHA-1
+        self._owner_cache: Dict[NodeKey, int] = {}
         #: lifetime op counters per provider: (gets, puts)
         self.gets = [0] * n_providers
         self.puts = [0] * n_providers
 
     def owner(self, key: NodeKey) -> int:
         """Which metadata provider is responsible for *key*."""
-        return placement_hash(key.key_bytes(), self.n_providers)
+        idx = self._owner_cache.get(key)
+        if idx is None:
+            idx = placement_hash(key.key_bytes(), self.n_providers)
+            self._owner_cache[key] = idx
+        return idx
 
     def get_node(self, key: NodeKey) -> TreeNode:
         """Fetch a node; raises ``VersionNotFoundError`` when absent."""
-        idx = self.owner(key)
+        return self._get_at(self.owner(key), key)
+
+    def put_node(self, node: TreeNode) -> None:
+        """Store a node (idempotent: nodes are immutable)."""
+        self._put_at(self.owner(node.key), node)
+
+    def _get_at(self, idx: int, key: NodeKey) -> TreeNode:
         with self._locks[idx]:
             self.gets[idx] += 1
             try:
@@ -61,9 +75,7 @@ class MetadataDHT:
             except KeyError:
                 raise VersionNotFoundError(f"no tree node for {key}") from None
 
-    def put_node(self, node: TreeNode) -> None:
-        """Store a node (idempotent: nodes are immutable)."""
-        idx = self.owner(node.key)
+    def _put_at(self, idx: int, node: TreeNode) -> None:
         with self._locks[idx]:
             self.puts[idx] += 1
             self._buckets[idx][node.key] = node
@@ -97,12 +109,14 @@ class RecordingStore:
         self.log: List[AccessRecord] = []
 
     def get_node(self, key: NodeKey) -> TreeNode:
-        self.log.append(AccessRecord("get", self.inner.owner(key)))
-        return self.inner.get_node(key)
+        idx = self.inner.owner(key)
+        self.log.append(AccessRecord("get", idx))
+        return self.inner._get_at(idx, key)
 
     def put_node(self, node: TreeNode) -> None:
-        self.log.append(AccessRecord("put", self.inner.owner(node.key)))
-        self.inner.put_node(node)
+        idx = self.inner.owner(node.key)
+        self.log.append(AccessRecord("put", idx))
+        self.inner._put_at(idx, node)
 
     def take_log(self) -> List[AccessRecord]:
         """Return and clear the access log."""

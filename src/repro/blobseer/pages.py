@@ -19,20 +19,17 @@ proceed without read-modify-write cycles.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
-#: process-wide page id counter (thread-safe)
+#: process-wide page id counter (next() on itertools.count is atomic
+#: under the GIL, so no lock is needed for thread safety)
 _page_counter = itertools.count()
-_page_lock = threading.Lock()
 
 
 def fresh_page_id(blob_id: int, writer: str) -> "PageId":
     """Mint a unique page id, tagged with its BLOB and writer for debugging."""
-    with _page_lock:
-        seq = next(_page_counter)
-    return PageId(blob_id=blob_id, writer=writer, seq=seq)
+    return PageId(blob_id=blob_id, writer=writer, seq=next(_page_counter))
 
 
 @dataclass(frozen=True, slots=True)

@@ -53,6 +53,16 @@ class ProviderManager:
         order = self._rng.permutation(len(names))
         self._rank: Dict[str, int] = {names[i]: int(order[i]) for i in range(len(names))}
         self._counter = itertools.count()
+        # lazy least-loaded heap: entries are (load, rank, name); an
+        # entry is current iff its load matches the table (each push
+        # happens on a strictly increasing load, so at most one entry
+        # per name is ever current). Popping currents in heap order is
+        # exactly the (load, rank) sort order, without sorting all
+        # providers on every page placement.
+        self._heap: List[Tuple[int, int, str]] = [
+            (0, self._rank[n], n) for n in names
+        ]
+        heapq.heapify(self._heap)
 
     # -- membership ---------------------------------------------------------------
 
@@ -66,7 +76,14 @@ class ProviderManager:
     def mark_up(self, name: str) -> None:
         """Re-admit a provider."""
         with self._lock:
-            self._down.discard(name)
+            if name in self._down:
+                self._down.discard(name)
+                # its pre-failure heap entry may already be consumed;
+                # push a fresh current one (duplicates are harmless,
+                # _pick drops whichever it sees second)
+                heapq.heappush(
+                    self._heap, (self._load[name], self._rank[name], name)
+                )
 
     @property
     def alive_count(self) -> int:
@@ -92,44 +109,50 @@ class ProviderManager:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         with self._lock:
-            alive = [n for n in self._load if n not in self._down]
-            if len(alive) < replication:
+            alive_count = len(self._load) - len(self._down)
+            if alive_count < replication:
                 raise ReplicationError(
-                    f"need {replication} distinct providers, only {len(alive)} alive"
+                    f"need {replication} distinct providers, "
+                    f"only {alive_count} alive"
                 )
+            load, rank, heap = self._load, self._rank, self._heap
             result: List[Tuple[str, ...]] = []
             for i, size in enumerate(page_sizes):
                 if size <= 0:
                     raise ValueError("page size must be positive")
-                chosen = self._pick(alive, replication, prefer if i == 0 else None)
+                chosen = self._pick(replication, prefer if i == 0 else None)
                 for name in chosen:
-                    self._load[name] += size
+                    new_load = load[name] + size
+                    load[name] = new_load
+                    heapq.heappush(heap, (new_load, rank[name], name))
                 result.append(tuple(chosen))
                 self._c_pages.inc()
                 self._c_bytes.inc(float(size) * replication)
             self._c_allocations.inc()
             if self._track_imbalance:
-                loads = [self._load[n] for n in alive]
+                loads = [v for n, v in load.items() if n not in self._down]
                 mean = sum(loads) / len(loads)
                 self._g_imbalance.set(max(loads) / mean if mean > 0 else 1.0)
             return result
 
-    def _pick(
-        self, alive: List[str], replication: int, prefer: Optional[str]
-    ) -> List[str]:
-        ordered = sorted(alive, key=lambda n: (self._load[n], self._rank[n]))
+    def _pick(self, replication: int, prefer: Optional[str]) -> List[str]:
         chosen: List[str] = []
         if prefer is not None and prefer in self._load and prefer not in self._down:
-            loads = sorted(self._load[n] for n in alive)
+            loads = sorted(
+                v for n, v in self._load.items() if n not in self._down
+            )
             median = loads[len(loads) // 2]
             if self._load[prefer] <= median:
                 chosen.append(prefer)
-        for name in ordered:
-            if len(chosen) >= replication:
-                break
-            if name not in chosen:
-                chosen.append(name)
-        return chosen[:replication]
+        if len(chosen) >= replication:
+            return chosen[:replication]
+        load, down, heap = self._load, self._down, self._heap
+        while len(chosen) < replication:
+            lo, _r, name = heapq.heappop(heap)
+            if name in down or load[name] != lo or name in chosen:
+                continue  # failed, stale, or duplicate entry: discard
+            chosen.append(name)
+        return chosen
 
     # -- introspection --------------------------------------------------------------
 

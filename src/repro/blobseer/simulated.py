@@ -35,7 +35,7 @@ from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
-from ..sim.resources import Resource
+from ..sim.resources import Resource, batch_round_trips
 from .metadata.dht import MetadataDHT, RecordingStore
 from .metadata.segment_tree import (
     build_version,
@@ -124,81 +124,109 @@ class SimBlobSeer:
         fn,
         op: str = "call",
         parent: Optional[Span] = None,
-    ) -> Generator[Event, None, object]:
+    ) -> Event:
         """Round trip to the version manager: latency + serialized service.
 
-        *fn* runs inside the critical section and its result is returned.
-        The round trip is traced as one ``vm.<op>`` span; append-ticket
-        assignment additionally feeds the ``vm.append_ticket_wait_s``
-        histogram (latency + queue wait + service — the serialization
-        cost one appender observes at the VM).
+        *fn* runs inside the critical section and the returned event
+        fires with its result. The round trip is traced as one
+        ``vm.<op>`` span; append-ticket assignment additionally feeds
+        the ``vm.append_ticket_wait_s`` histogram (latency + queue wait
+        + service — the serialization cost one appender observes at the
+        VM).
         """
         sp = self.obs.tracer.start(
             f"vm.{op}", cat="blobseer.vm", parent=parent, track=client
         )
         t0 = self.env.now
-        yield self.env.timeout(self.cluster.config.latency)
-        req = yield self._vm_slot.request()
-        try:
-            yield self.env.timeout(self.cluster.config.version_assign_time)
-            result = fn()
-        finally:
-            self._vm_slot.release(req)
-        yield self.env.timeout(self.cluster.config.latency)
-        sp.finish()
+        done = self._vm_slot.round_trip(
+            self.cluster.config.latency,
+            self.cluster.config.version_assign_time,
+            fn,
+        )
         if op == "assign_append":
-            self._h_ticket_wait.observe(self.env.now - t0)
-        return result
 
-    def _mdp_rpc(self, owner: int) -> Generator[Event, None, None]:
+            def finish(ev: Event) -> None:
+                if ev._ok:
+                    sp.finish()
+                    self._h_ticket_wait.observe(self.env.now - t0)
+
+            done.callbacks.append(finish)
+        elif self.obs.tracer.enabled:
+            done.callbacks.append(lambda ev: sp.finish() if ev._ok else None)
+        return done
+
+    def _mdp_rpc(self, owner: int) -> Event:
         """One metadata RPC at provider *owner*: latency + queued service."""
-        yield self.env.timeout(self.cluster.config.latency)
-        slot = self._mdp_slots[owner]
-        req = yield slot.request()
-        try:
-            yield self.env.timeout(self.cluster.config.metadata_rpc_time)
-        finally:
-            slot.release(req)
-        yield self.env.timeout(self.cluster.config.latency)
+        return self._mdp_slots[owner].round_trip(
+            self.cluster.config.latency, self.cluster.config.metadata_rpc_time
+        )
 
-    def _charge_metadata(self, records) -> Generator[Event, None, None]:
-        """Charge a batch of logged DHT accesses, all in parallel."""
+    def _charge_metadata(self, records) -> Event:
+        """Charge a batch of logged DHT accesses, all in parallel; the
+        returned event fires when the last RPC's reply is back."""
+        done = Event(self.env)
         if not records:
-            return
+            done.succeed(None)
+            return done
         self._c_md_rpcs.inc(len(records))
-        procs = [
-            self.env.process(self._mdp_rpc(rec.owner), name="mdp-rpc")
-            for rec in records
-        ]
-        yield self.env.all_of(procs)
+        slots = self._mdp_slots
+        batch_round_trips(
+            [slots[rec.owner] for rec in records],
+            self.cluster.config.latency,
+            self.cluster.config.metadata_rpc_time,
+            done,
+        )
+        return done
 
     # -- data-plane helpers --------------------------------------------------------
 
     def _ship_page(
         self, client: str, providers: Sequence[str], nbytes: int
-    ) -> Generator[Event, None, None]:
+    ) -> Event:
         """Send one stored object to its replicas (ack on receipt).
 
         Replicas are written in parallel from the client, like BlobSeer's
-        asynchronous page writes. Persistence happens in the background.
+        asynchronous page writes; the returned event fires when the last
+        replica has the bytes. Persistence happens in the background.
         """
         transfers = [
             self.cluster.network.transfer(client, prov, nbytes)
             for prov in providers
         ]
-        yield self.env.all_of(transfers)
-        for prov in providers:
-            # asynchronous persistence; disk contention still accrues
-            self.cluster.node(prov).disk.write(nbytes)
+        # single replica (the default): no fan-in barrier needed
+        done = transfers[0] if len(transfers) == 1 else self.env.all_of(transfers)
+
+        def persist(ev: Event) -> None:
+            if ev._ok:
+                for prov in providers:
+                    # asynchronous persistence; disk contention accrues
+                    self.cluster.node(prov).disk.write(nbytes, notify=False)
+
+        done.callbacks.append(persist)
+        return done
 
     def _fetch_fragment(
         self, client: str, frag: Fragment, nbytes: int
-    ) -> Generator[Event, None, None]:
+    ) -> Event:
         """Read *nbytes* of one stored object from its primary provider:
-        disk (or page-cache) service then network transfer."""
+        disk (or page-cache) service then network transfer; the returned
+        event fires when the bytes reach the client."""
         prov = frag.primary
-        yield self.cluster.node(prov).disk.read(nbytes)
-        yield self.cluster.network.transfer(prov, client, nbytes)
+        done = Event(self.env)
+
+        def off_disk(ev: Event) -> None:
+            if not ev._ok:
+                done.fail(ev._value)
+                return
+            t = self.cluster.network.transfer(prov, client, nbytes)
+            t.callbacks.append(
+                lambda tv: done.succeed(None)
+                if tv._ok
+                else done.fail(tv._value)
+            )
+
+        self.cluster.node(prov).disk.read(nbytes).callbacks.append(off_disk)
+        return done
 
     # -- client operations ------------------------------------------------------------
 
@@ -222,18 +250,13 @@ class SimBlobSeer:
             blob=blob_id,
             nbytes=nbytes,
         )
-        ticket: Ticket = yield self.env.process(
-            self._vm_call(
-                client,
-                lambda: self.core.assign_append(blob_id, nbytes),
-                op="assign_append",
-                parent=sp,
-            ),
-            name="vm-assign",
+        ticket: Ticket = yield self._vm_call(
+            client,
+            lambda: self.core.assign_append(blob_id, nbytes),
+            op="assign_append",
+            parent=sp,
         )
-        version = yield self.env.process(
-            self._update_body(client, ticket, parent=sp), name="append-body"
-        )
+        version = yield from self._update_body(client, ticket, parent=sp)
         sp.finish(version=version, offset=ticket.offset)
         if record:
             self.metrics.record(client, "append", start, self.env.now, nbytes)
@@ -258,18 +281,13 @@ class SimBlobSeer:
             blob=blob_id,
             nbytes=nbytes,
         )
-        ticket: Ticket = yield self.env.process(
-            self._vm_call(
-                client,
-                lambda: self.core.assign_write(blob_id, offset, nbytes),
-                op="assign_write",
-                parent=sp,
-            ),
-            name="vm-assign",
+        ticket: Ticket = yield self._vm_call(
+            client,
+            lambda: self.core.assign_write(blob_id, offset, nbytes),
+            op="assign_write",
+            parent=sp,
         )
-        version = yield self.env.process(
-            self._update_body(client, ticket, parent=sp), name="write-body"
-        )
+        version = yield from self._update_body(client, ticket, parent=sp)
         sp.finish(version=version)
         if record:
             self.metrics.record(client, "write", start, self.env.now, nbytes)
@@ -311,13 +329,8 @@ class SimBlobSeer:
                 data_offset=0,
                 providers=placements[i],
             )
-            shippers.append(
-                self.env.process(
-                    self._ship_page(client, placements[i], hi - lo),
-                    name="ship-page",
-                )
-            )
-        yield self.env.all_of(shippers)
+            shippers.append(self._ship_page(client, placements[i], hi - lo))
+        yield shippers[0] if len(shippers) == 1 else self.env.all_of(shippers)
         sp_ship.finish()
 
         # metadata turn — the when_turn queue wait is the commit-ordering
@@ -362,9 +375,7 @@ class SimBlobSeer:
                 track=client,
                 rpcs=len(boundary_log),
             )
-            yield self.env.process(
-                self._charge_metadata(boundary_log), name="md-boundary"
-            )
+            yield self._charge_metadata(boundary_log)
             sp_b.finish()
 
         # write the new version's tree nodes (parallel, charged per owner)
@@ -389,20 +400,15 @@ class SimBlobSeer:
             track=client,
             rpcs=len(build_log),
         )
-        yield self.env.process(
-            self._charge_metadata(build_log), name="md-build"
-        )
+        yield self._charge_metadata(build_log)
         sp_md.finish()
 
         # commit + in-order publication at the VM
-        yield self.env.process(
-            self._vm_call(
-                client,
-                lambda: self.core.commit(ticket.blob_id, ticket.version, root),
-                op="commit",
-                parent=parent,
-            ),
-            name="vm-commit",
+        yield self._vm_call(
+            client,
+            lambda: self.core.commit(ticket.blob_id, ticket.version, root),
+            op="commit",
+            parent=parent,
         )
         return ticket.version
 
@@ -437,10 +443,7 @@ class SimBlobSeer:
                 return self.core.latest_published(blob_id)
             return self.core.get_version(blob_id, version)
 
-        rec = yield self.env.process(
-            self._vm_call(client, resolve, op="resolve", parent=sp),
-            name="vm-resolve",
-        )
+        rec = yield self._vm_call(client, resolve, op="resolve", parent=sp)
         if offset + nbytes > rec.size:
             raise OutOfRangeReadError(
                 f"read [{offset}, {offset + nbytes}) beyond size {rec.size}"
@@ -459,9 +462,7 @@ class SimBlobSeer:
             track=client,
             rpcs=len(query_log),
         )
-        yield self.env.process(
-            self._charge_metadata(query_log), name="md-query"
-        )
+        yield self._charge_metadata(query_log)
         sp_md.finish()
         sp_fetch = tracer.start(
             "pages.fetch", cat="blobseer.data", parent=sp, track=client
@@ -476,10 +477,7 @@ class SimBlobSeer:
                 if piece is None:
                     continue
                 fetchers.append(
-                    self.env.process(
-                        self._fetch_fragment(client, piece, piece.length),
-                        name="fetch-frag",
-                    )
+                    self._fetch_fragment(client, piece, piece.length)
                 )
         yield self.env.all_of(fetchers)
         sp_fetch.finish(fragments=len(fetchers))

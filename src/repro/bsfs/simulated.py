@@ -63,22 +63,20 @@ class SimBSFS:
         op: str = "call",
         client: Optional[str] = None,
         parent: Optional[Span] = None,
-    ) -> Generator[Event, None, object]:
+    ) -> Event:
         """Round trip to the namespace manager (serialized service)."""
         self._c_ns_rpcs.inc()
-        sp = self.obs.tracer.start(
-            f"ns.{op}", cat="bsfs.ns", parent=parent, track=client
+        done = self._ns_slot.round_trip(
+            self.cluster.config.latency,
+            self.cluster.config.namespace_rpc_time,
+            fn,
         )
-        yield self.env.timeout(self.cluster.config.latency)
-        req = yield self._ns_slot.request()
-        try:
-            yield self.env.timeout(self.cluster.config.namespace_rpc_time)
-            result = fn()
-        finally:
-            self._ns_slot.release(req)
-        yield self.env.timeout(self.cluster.config.latency)
-        sp.finish()
-        return result
+        if self.obs.tracer.enabled:
+            sp = self.obs.tracer.start(
+                f"ns.{op}", cat="bsfs.ns", parent=parent, track=client
+            )
+            done.callbacks.append(lambda ev: sp.finish() if ev._ok else None)
+        return done
 
     # -- file operations -----------------------------------------------------------
 
@@ -88,14 +86,11 @@ class SimBSFS:
             "bsfs.create", cat="bsfs", track=client, path=path
         )
         blob_id = self.blobseer.create_blob()
-        yield self.env.process(
-            self._ns_call(
-                lambda: self.namespace.create(path, blob_id, self.config.page_size),
-                op="create",
-                client=client,
-                parent=sp,
-            ),
-            name="ns-create",
+        yield self._ns_call(
+            lambda: self.namespace.create(path, blob_id, self.config.page_size),
+            op="create",
+            client=client,
+            parent=sp,
         )
         sp.finish(blob=blob_id)
         return blob_id
@@ -111,31 +106,22 @@ class SimBSFS:
         sp = self.obs.tracer.start(
             "bsfs.append", cat="bsfs", track=client, path=path, nbytes=nbytes
         )
-        record = yield self.env.process(
-            self._ns_call(
-                lambda: self.namespace.get(path),
-                op="lookup",
-                client=client,
-                parent=sp,
-            ),
-            name="ns-lookup",
+        record = yield self._ns_call(
+            lambda: self.namespace.get(path),
+            op="lookup",
+            client=client,
+            parent=sp,
         )
-        version = yield self.env.process(
-            self.blobseer.append_proc(
-                client, record.blob_id, nbytes, record=False, parent=sp
-            ),
-            name="blob-append",
+        version = yield from self.blobseer.append_proc(
+            client, record.blob_id, nbytes, record=False, parent=sp
         )
         # the appender learns its end offset from the version it created
         size = self.blobseer.core.get_version(record.blob_id, version).size
-        yield self.env.process(
-            self._ns_call(
-                lambda: self.namespace.update_size(path, size),
-                op="update_size",
-                client=client,
-                parent=sp,
-            ),
-            name="ns-size",
+        yield self._ns_call(
+            lambda: self.namespace.update_size(path, size),
+            op="update_size",
+            client=client,
+            parent=sp,
         )
         sp.finish(version=version)
         self.metrics.record(client, "append", start, self.env.now, nbytes)
@@ -154,20 +140,14 @@ class SimBSFS:
             offset=offset,
             nbytes=nbytes,
         )
-        record = yield self.env.process(
-            self._ns_call(
-                lambda: self.namespace.get(path),
-                op="lookup",
-                client=client,
-                parent=sp,
-            ),
-            name="ns-lookup",
+        record = yield self._ns_call(
+            lambda: self.namespace.get(path),
+            op="lookup",
+            client=client,
+            parent=sp,
         )
-        version = yield self.env.process(
-            self.blobseer.read_proc(
-                client, record.blob_id, offset, nbytes, record=False, parent=sp
-            ),
-            name="blob-read",
+        version = yield from self.blobseer.read_proc(
+            client, record.blob_id, offset, nbytes, record=False, parent=sp
         )
         sp.finish(version=version)
         self.metrics.record(client, "read", start, self.env.now, nbytes)

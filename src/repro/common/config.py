@@ -122,10 +122,15 @@ class ClusterConfig:
     version_assign_time: float = 0.0004
     #: service time of one namespace-manager / namenode RPC, seconds
     namespace_rpc_time: float = 0.0008
+    #: max-min rate allocator: "incremental" (component-scoped refills,
+    #: the fast default) or "reference" (full recompute per flow event)
+    allocator: str = "incremental"
     #: experiment seed
     seed: int = 20100621  # HPDC'10 workshop date
 
     def validate(self) -> None:
+        if self.allocator not in ("incremental", "reference"):
+            raise ValueError(f"unknown allocator {self.allocator!r}")
         if self.nodes < 4:
             raise ValueError("need at least 4 nodes for a deployment")
         for name in (

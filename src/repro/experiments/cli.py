@@ -91,13 +91,52 @@ def main(argv: List[str] | None = None) -> int:
             "even without --trace"
         ),
     )
+    parser.add_argument(
+        "--allocator",
+        choices=["incremental", "reference"],
+        default=None,
+        help=(
+            "override the network rate allocator (default: the config's, "
+            "i.e. incremental); 'reference' is the O(flows) full-recompute "
+            "oracle kept for differential testing"
+        ),
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "benchmark mode: instead of printing figures, time the "
+            "selected DES figures under BOTH allocators and write "
+            "BENCH_sim.json (wall time, simulated events/sec, realloc "
+            "counts, speedups) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--bench-repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="benchmark mode: wall time is the best of N runs (default: 3)",
+    )
     args = parser.parse_args(argv)
 
     config = None
-    if args.reps is not None:
+    if args.reps is not None or args.allocator is not None:
+        from dataclasses import replace
+
         from ..common.config import ExperimentConfig
 
-        config = ExperimentConfig(repetitions=args.reps)
+        config = ExperimentConfig()
+        if args.reps is not None:
+            config.repetitions = args.reps
+        elif args.scale == "quick":
+            config.repetitions = 1
+        if args.allocator is not None:
+            config.cluster = replace(config.cluster, allocator=args.allocator)
+
+    if args.bench_out is not None:
+        return _bench_main(args, config)
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     observe = args.trace is not None or args.metrics_out is not None
@@ -133,6 +172,46 @@ def main(argv: List[str] | None = None) -> int:
         with open(args.json, "w") as fp:
             json.dump([r.to_dict() for r in results], fp, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _bench_main(args, config) -> int:
+    """``--bench-out``: time figures under both allocators, write JSON."""
+    from .bench import DEFAULT_FIGURES, run_bench, to_json_dict
+
+    if args.figure == "all":
+        figures = list(DEFAULT_FIGURES)
+    elif args.figure == "filecount":
+        print("filecount exercises the threaded runtime, not the DES; "
+              "nothing to benchmark", file=sys.stderr)
+        return 2
+    else:
+        figures = [args.figure]
+    runs = run_bench(
+        figures,
+        scale=args.scale,
+        repeats=args.bench_repeats,
+        config=config,
+    )
+    doc = to_json_dict(runs, scale=args.scale, repeats=args.bench_repeats)
+    with open(args.bench_out, "w") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+    for run in runs:
+        print(f"[{run.allocator}]")
+        for name, fb in run.figures.items():
+            print(
+                f"  {name}: {fb.wall_s:.3f}s wall, {fb.sim_events} sim "
+                f"events ({fb.events_per_s:,.0f}/s), {fb.reallocs} reallocs"
+            )
+        print(
+            f"  total: {run.total_wall_s:.3f}s, "
+            f"{run.total_events_per_s:,.0f} events/s"
+        )
+    speedup = doc.get("speedup", {})
+    if "total" in speedup:
+        print(f"speedup (reference/incremental wall): {speedup['total']:.2f}x")
+    print(f"wrote {args.bench_out}")
     return 0
 
 

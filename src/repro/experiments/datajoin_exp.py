@@ -34,7 +34,7 @@ from ..common.config import ExperimentConfig
 from ..common.units import MiB
 from ..obs import NULL_OBS, Observability
 from ..sim.core import Event
-from .deploy import deploy_bsfs, deploy_hdfs
+from .deploy import deploy_bsfs, deploy_hdfs, record_sim_counters
 
 
 @dataclass(slots=True)
@@ -150,6 +150,7 @@ def run_datajoin_hdfs(
     files = len(
         [s for s in hdfs.namenode.list_dir("/join/out") if not s.is_directory]
     )
+    record_sim_counters(dep.cluster, obs)
     return DataJoinPoint(n_reducers, completion, files, "hdfs-separate")
 
 
@@ -226,6 +227,7 @@ def run_datajoin_bsfs(
         [s for s in bsfs.namespace.list_dir("/join") if not s.is_directory
          and "out" in s.path]
     )
+    record_sim_counters(dep.cluster, obs)
     return DataJoinPoint(n_reducers, completion, files, "bsfs-shared")
 
 

@@ -46,7 +46,7 @@ def deploy_bsfs(
 ) -> BSFSDeployment:
     """Materialize the paper's BSFS deployment on a fresh simulation."""
     config.validate()
-    cluster = SimCluster(config.cluster)
+    cluster = SimCluster(config.cluster, obs=obs)
     names = cluster.names()
     n_meta = config.blobseer.metadata_providers
     needed = 3 + n_meta + 1
@@ -72,12 +72,26 @@ def deploy_bsfs(
     )
 
 
+def record_sim_counters(cluster: SimCluster, obs: Optional[Observability]) -> None:
+    """Flush the kernel's lifetime event tally into ``sim.kernel.events``.
+
+    Call once per deployment after its simulation has run; together with
+    the network's ``sim.net.realloc*`` instruments this makes kernel
+    cost visible in ``--metrics-out`` and the perf harness.
+    """
+    if obs is None:
+        return
+    processed = cluster.env.events_processed
+    if processed:
+        obs.registry.counter("sim.kernel.events").inc(float(processed))
+
+
 def deploy_hdfs(
     config: ExperimentConfig, obs: Optional[Observability] = None
 ) -> HDFSDeployment:
     """Materialize the paper's HDFS deployment on a fresh simulation."""
     config.validate()
-    cluster = SimCluster(config.cluster)
+    cluster = SimCluster(config.cluster, obs=obs)
     if obs is not None and obs.tracer.enabled:
         # HDFS internals are not traced, but experiment-level spans over
         # this deployment should carry simulated timestamps

@@ -20,7 +20,7 @@ from ..common.config import ExperimentConfig
 from ..common.units import MiB
 from ..obs import Observability
 from ..sim.core import Event
-from .deploy import BSFSDeployment, deploy_bsfs
+from .deploy import BSFSDeployment, deploy_bsfs, record_sim_counters
 
 #: the microbenchmarks' unit of I/O: one 64 MB chunk
 CHUNK = 64 * MiB
@@ -48,13 +48,16 @@ def _rep_config(config: ExperimentConfig, rep: int) -> ExperimentConfig:
     )
 
 
-def _run(deployment: BSFSDeployment, procs) -> None:
+def _run(
+    deployment: BSFSDeployment, procs, obs: Optional[Observability] = None
+) -> None:
     env = deployment.cluster.env
 
     def main() -> Generator[Event, None, None]:
         yield env.all_of(procs)
 
     env.run(env.process(main(), name="main"))
+    record_sim_counters(deployment.cluster, obs)
 
 
 def _client_nodes(deployment: BSFSDeployment, count: int, phase: int = 0) -> List[str]:
@@ -90,12 +93,10 @@ def concurrent_appends(
 
             def appender(client: str) -> Generator[Event, None, None]:
                 for _ in range(chunks_per_client):
-                    yield env.process(
-                        bsfs.append_proc(client, "/bench/shared", CHUNK)
-                    )
+                    yield from bsfs.append_proc(client, "/bench/shared", CHUNK)
 
             _run(dep, [env.process(appender(c), name=f"app-{i}")
-                       for i, c in enumerate(clients)])
+                       for i, c in enumerate(clients)], obs=obs)
             samples.append(bsfs.metrics.average_client_throughput("append") / MiB)
         points.append(
             DataPoint(
@@ -135,13 +136,11 @@ def _mixed_workload(
     def reader(idx: int, client: str) -> Generator[Event, None, None]:
         base = idx * chunks_per_reader * CHUNK
         for c in range(chunks_per_reader):
-            yield env.process(
-                bsfs.read_proc(client, path, base + c * CHUNK, CHUNK)
-            )
+            yield from bsfs.read_proc(client, path, base + c * CHUNK, CHUNK)
 
     def appender(client: str) -> Generator[Event, None, None]:
         for _ in range(chunks_per_appender):
-            yield env.process(bsfs.append_proc(client, path, CHUNK))
+            yield from bsfs.append_proc(client, path, CHUNK)
 
     procs = [
         env.process(reader(i, c), name=f"reader-{i}")
@@ -150,7 +149,7 @@ def _mixed_workload(
         env.process(appender(c), name=f"appender-{i}")
         for i, c in enumerate(appenders)
     ]
-    _run(dep, procs)
+    _run(dep, procs, obs=obs)
     return dep
 
 
@@ -190,7 +189,7 @@ def separate_writes_comparison(
                 )
                 for i in range(n)
             ]
-            _run(dep_h, procs)  # type: ignore[arg-type]
+            _run(dep_h, procs, obs=obs)  # type: ignore[arg-type]
             hdfs_samples.append(
                 dep_h.hdfs.metrics.average_client_throughput("write") / MiB
             )
@@ -206,7 +205,7 @@ def separate_writes_comparison(
                 env.process(dep_b.bsfs.append_proc(c, f"/bench/part-{i:05d}", CHUNK))
                 for i, c in enumerate(clients)
             ]
-            _run(dep_b, procs)
+            _run(dep_b, procs, obs=obs)
             bsfs_samples.append(
                 dep_b.bsfs.metrics.average_client_throughput("append") / MiB
             )

@@ -56,17 +56,13 @@ class SimHDFS:
 
     # -- namenode RPC ------------------------------------------------------------
 
-    def _nn_call(self, fn) -> Generator[Event, None, object]:
+    def _nn_call(self, fn) -> Event:
         """Round trip to the namenode (serialized service)."""
-        yield self.env.timeout(self.cluster.config.latency)
-        req = yield self._nn_slot.request()
-        try:
-            yield self.env.timeout(self.cluster.config.namespace_rpc_time)
-            result = fn()
-        finally:
-            self._nn_slot.release(req)
-        yield self.env.timeout(self.cluster.config.latency)
-        return result
+        return self._nn_slot.round_trip(
+            self.cluster.config.latency,
+            self.cluster.config.namespace_rpc_time,
+            fn,
+        )
 
     # -- file operations ------------------------------------------------------------
 
@@ -82,36 +78,27 @@ class SimHDFS:
         if nbytes <= 0:
             raise ValueError("write of zero bytes")
         start = self.env.now
-        yield self.env.process(
-            self._nn_call(lambda: self.namenode.create(path, client)),
-            name="nn-create",
-        )
+        yield self._nn_call(lambda: self.namenode.create(path, client))
         remaining = nbytes
         while remaining > 0:
             chunk = min(self.config.chunk_size, remaining)
             remaining -= chunk
-            block_id, targets = yield self.env.process(
-                self._nn_call(lambda: self.namenode.allocate_block(path, client)),
-                name="nn-allocate",
+            block_id, targets = yield self._nn_call(
+                lambda: self.namenode.allocate_block(path, client)
             )
             transfers = [
                 self.cluster.network.transfer(client, dn, chunk) for dn in targets
             ]
             yield self.env.all_of(transfers)
             for dn in targets:
-                self.cluster.node(dn).disk.write(chunk)  # async persistence
-            yield self.env.process(
-                self._nn_call(
-                    lambda bid=block_id, t=targets, c=chunk: self.namenode.commit_block(
-                        path, client, bid, c, t
-                    )
-                ),
-                name="nn-commit",
+                # async persistence: fire-and-forget, no completion event
+                self.cluster.node(dn).disk.write(chunk, notify=False)
+            yield self._nn_call(
+                lambda bid=block_id, t=targets, c=chunk: self.namenode.commit_block(
+                    path, client, bid, c, t
+                )
             )
-        yield self.env.process(
-            self._nn_call(lambda: self.namenode.complete(path, client)),
-            name="nn-complete",
-        )
+        yield self._nn_call(lambda: self.namenode.complete(path, client))
         self.metrics.record(client, "write", start, self.env.now, nbytes)
 
     def read_proc(
@@ -122,11 +109,8 @@ class SimHDFS:
         if nbytes <= 0:
             raise ValueError("read of zero bytes")
         start = self.env.now
-        locations = yield self.env.process(
-            self._nn_call(
-                lambda: self.namenode.get_block_locations(path, offset, nbytes)
-            ),
-            name="nn-locate",
+        locations = yield self._nn_call(
+            lambda: self.namenode.get_block_locations(path, offset, nbytes)
         )
         fetchers = []
         for loc in locations:
@@ -134,19 +118,28 @@ class SimHDFS:
             hi = min(offset + nbytes, loc.offset + loc.length)
             if hi <= lo:
                 continue
-            fetchers.append(
-                self.env.process(
-                    self._fetch(client, loc.hosts[0], hi - lo), name="chunk-fetch"
-                )
-            )
+            fetchers.append(self._fetch(client, loc.hosts[0], hi - lo))
         yield self.env.all_of(fetchers)
         self.metrics.record(client, "read", start, self.env.now, nbytes)
 
-    def _fetch(
-        self, client: str, datanode: str, nbytes: int
-    ) -> Generator[Event, None, None]:
-        yield self.cluster.node(datanode).disk.read(nbytes)
-        yield self.cluster.network.transfer(datanode, client, nbytes)
+    def _fetch(self, client: str, datanode: str, nbytes: int) -> Event:
+        """Datanode disk/page-cache service, then the network transfer;
+        the returned event fires when the bytes reach the client."""
+        done = Event(self.env)
+
+        def off_disk(ev: Event) -> None:
+            if not ev._ok:
+                done.fail(ev._value)
+                return
+            t = self.cluster.network.transfer(datanode, client, nbytes)
+            t.callbacks.append(
+                lambda tv: done.succeed(None)
+                if tv._ok
+                else done.fail(tv._value)
+            )
+
+        self.cluster.node(datanode).disk.read(nbytes).callbacks.append(off_disk)
+        return done
 
     # -- experiment plumbing -------------------------------------------------------------
 

@@ -9,12 +9,18 @@ unconditionally.
 
 Histograms keep their raw samples (experiment runs observe thousands,
 not millions, of values) and report linearly interpolated percentiles,
-matching ``numpy.percentile``'s default so tests can cross-check.
+matching ``numpy.percentile``'s default so tests can cross-check. Long
+perf sweeps can bound histogram memory with a sampling reservoir
+(``max_samples``): count/mean/min/max stay exact, percentiles come
+from a uniform sample of the stream (Vitter's Algorithm R with a
+deterministic per-histogram seed).
 """
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, Iterable, List, Optional, Union
 
 
@@ -51,36 +57,75 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observed values with percentile readout."""
+    """A distribution of observed values with percentile readout.
 
-    __slots__ = ("name", "_samples", "_sorted", "total")
+    With ``max_samples`` set, at most that many raw samples are kept in
+    a uniform reservoir (Algorithm R, deterministically seeded from the
+    histogram name): ``count``/``mean``/``min``/``max`` remain exact
+    over the whole stream, while percentiles are estimated from the
+    reservoir. Default is unbounded (keep everything).
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name", "_samples", "_sorted", "total",
+        "_max_samples", "_n", "_min", "_max", "_rng",
+    )
+
+    def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
         self.total = 0.0
+        self._max_samples = max_samples
+        self._n = 0  # exact stream length (>= len(_samples) when capped)
+        self._min = 0.0
+        self._max = 0.0
+        # seeded per-name so capped percentiles are reproducible
+        self._rng = (
+            random.Random(zlib.crc32(name.encode()))
+            if max_samples is not None
+            else None
+        )
 
     def observe(self, value: float) -> None:
-        self._samples.append(value)
+        n = self._n
+        self._n = n + 1
         self.total += value
-        self._sorted = False
+        if n == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        cap = self._max_samples
+        if cap is None or len(self._samples) < cap:
+            self._samples.append(value)
+            self._sorted = False
+        else:
+            # Algorithm R: keep each of the n+1 values with prob cap/(n+1)
+            j = self._rng.randrange(n + 1)
+            if j < cap:
+                self._samples[j] = value
+                self._sorted = False
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._n
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._samples) if self._samples else 0.0
+        return self.total / self._n if self._n else 0.0
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max
 
     def percentile(self, p: float) -> float:
         """The *p*-th percentile (0..100), linearly interpolated between
@@ -165,8 +210,16 @@ Instrument = Union[Counter, Gauge, Histogram]
 class MetricsRegistry:
     """Named instruments for one run; get-or-create, thread-safe."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        default_hist_max_samples: Optional[int] = None,
+    ) -> None:
         self.enabled = enabled
+        #: reservoir cap applied to histograms created by this registry
+        #: (None = unbounded). The perf harness caps its registries so
+        #: long sweeps cannot grow without limit.
+        self.default_hist_max_samples = default_hist_max_samples
         self._instruments: Dict[str, Instrument] = {}
         self._lock = threading.Lock()
 
@@ -174,7 +227,11 @@ class MetricsRegistry:
         with self._lock:
             inst = self._instruments.get(name)
             if inst is None:
-                inst = self._instruments[name] = cls(name)
+                if cls is Histogram:
+                    inst = cls(name, self.default_hist_max_samples)
+                else:
+                    inst = cls(name)
+                self._instruments[name] = inst
             elif not isinstance(inst, cls):
                 raise TypeError(
                     f"metric {name!r} already registered as "

@@ -12,10 +12,14 @@ machines following the paper's Grid'5000 setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List
+
+from typing import Optional
 
 from ..common.config import ClusterConfig
 from ..common.rng import substream
+from ..obs import Observability
 from .core import Environment
 from .disk import Disk
 from .network import Network, NetNode
@@ -33,7 +37,9 @@ class SimNode:
 class SimCluster:
     """All machines of one experiment reservation."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, obs: Optional[Observability] = None
+    ) -> None:
         config.validate()
         self.config = config
         self.env = Environment()
@@ -42,6 +48,8 @@ class SimCluster:
             latency=config.latency,
             backbone_bandwidth=config.backbone_bandwidth,
             flow_rate_cap=config.flow_rate_cap,
+            allocator=config.allocator,
+            obs=obs,
         )
         self.nodes: List[SimNode] = []
         self._by_name: Dict[str, SimNode] = {}
@@ -53,7 +61,8 @@ class SimCluster:
                 read_bandwidth=config.disk_read_bandwidth,
                 write_bandwidth=config.disk_write_bandwidth,
                 cache_hit_ratio=config.page_cache_hit_ratio,
-                rng=substream(config.seed, "disk", i),
+                # lazy: building 270 generators up front dominated setup
+                rng=partial(substream, config.seed, "disk", i),
             )
             node = SimNode(name, net, disk)
             self.nodes.append(node)

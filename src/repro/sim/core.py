@@ -23,6 +23,38 @@ from ..common.errors import InterruptedProcessError, SimDeadlockError
 ProcessGenerator = Generator["Event", Any, Any]
 
 
+class _Scheduled:
+    """Internal queue entry: run one bare callback at its fire time.
+
+    Much cheaper than a full :class:`Event` (no env back-pointer, no
+    waiter list, no trigger bookkeeping); used for the latency legs of
+    network transfers/RPCs and the flow-completion timer, where nothing
+    ever yields on the occurrence itself.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+
+
+class _Resume:
+    """Internal queue entry: resume a process that yielded an event
+    which had already been processed.
+
+    Replaces the throwaway ``immediate`` :class:`Event` the kernel used
+    to allocate per already-fired yield target — same queue position
+    (time ``now``, default priority, fresh eid), no Event ceremony.
+    """
+
+    __slots__ = ("process", "ok", "value")
+
+    def __init__(self, process: "Process", ok: bool, value: Any) -> None:
+        self.process = process
+        self.ok = ok
+        self.value = value
+
+
 class Event:
     """A one-shot occurrence processes can wait on.
 
@@ -132,10 +164,8 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
-        # bootstrap: resume the generator at t=now via an initial event
-        start = Event(env)
-        start.callbacks.append(self._resume)
-        start.succeed()
+        # bootstrap: resume the generator at t=now on the next kernel step
+        env._schedule(_Resume(self, True, None))
 
     @property
     def is_alive(self) -> bool:
@@ -166,15 +196,18 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        self._step(event)
+        self._do_step(event._ok, event._value)
 
     def _step(self, event: Event) -> None:
+        self._do_step(event._ok, event._value)
+
+    def _do_step(self, ok: bool, value: Any) -> None:
         self.env._active_process = self
         try:
-            if event._ok:
-                target = self.generator.send(event._value)
+            if ok:
+                target = self.generator.send(value)
             else:
-                target = self.generator.throw(event._value)
+                target = self.generator.throw(value)
         except StopIteration as stop:
             self.env._active_process = None
             self.succeed(stop.value)
@@ -192,12 +225,7 @@ class Process(Event):
             )
         if target.processed:
             # already fired: resume on the next kernel step
-            immediate = Event(self.env)
-            immediate._ok = target._ok
-            immediate._value = target._value
-            immediate.triggered = True
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate)
+            self.env._schedule(_Resume(self, target._ok, target._value))
         else:
             self._target = target
             target.callbacks.append(self._resume)
@@ -215,7 +243,11 @@ class Condition(Event):
 
     def __init__(self, env: "Environment", events: Iterable[Event], need: int) -> None:
         super().__init__(env)
-        self.events: List[Event] = list(events)
+        # subclasses hand in a list they already materialized; reuse it
+        # instead of copying (these fan-ins sit on the page-ship path)
+        self.events: List[Event] = (
+            events if type(events) is list else list(events)
+        )
         if need < 0 or need > len(self.events):
             raise ValueError(f"need={need} out of range for {len(self.events)} events")
         self.need = need
@@ -223,13 +255,14 @@ class Condition(Event):
         if need == 0 or not self.events:
             self.succeed([])
             return
+        on_fire = self._on_fire
         for ev in self.events:
             if ev.processed:
-                self._on_fire(ev)
+                on_fire(ev)
                 if self.triggered:
                     return
             else:
-                ev.callbacks.append(self._on_fire)
+                ev.callbacks.append(on_fire)
 
     def _on_fire(self, event: Event) -> None:
         if self.triggered:
@@ -262,17 +295,27 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event queue."""
 
+    #: eid offset for priority-0 entries (interrupt delivery): subtracting
+    #: it sorts them before every same-time normal entry while keeping
+    #: them ordered among themselves, so heap entries stay 3-tuples
+    _URGENT = 1 << 62
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[tuple[float, int, int, Event]] = []
+        self._queue: List[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Process | None = None
+        #: lifetime count of processed queue entries (events, scheduled
+        #: callbacks, resumes) — the denominator of events/sec in the
+        #: perf harness
+        self.events_processed: int = 0
 
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, self._eid, event))
+        key = self._eid if priority else self._eid - self._URGENT
+        heapq.heappush(self._queue, (self.now + delay, key, event))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
         """Run *callback* at absolute simulated time *when*; returns the
@@ -282,6 +325,24 @@ class Environment:
         ev = Timeout(self, when - self.now)
         ev.callbacks.append(lambda _ev: callback())
         return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run bare callback *fn* after *delay* seconds — the fast path
+        for fire-and-forget scheduling (no Event is allocated, so the
+        occurrence cannot be yielded on)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self.now + delay, self._eid, _Scheduled(fn)))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run bare callback *fn* at absolute time *when* — unlike
+        ``call_in(when - now, …)`` the fire time is *when* to the bit,
+        which the network's completion heap relies on."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        self._eid += 1
+        heapq.heappush(self._queue, (when, self._eid, _Scheduled(fn)))
 
     # -- factories ----------------------------------------------------------
 
@@ -309,10 +370,18 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _key, event = heapq.heappop(self._queue)
         if when < self.now:  # pragma: no cover - defensive
             raise RuntimeError("time went backwards")
         self.now = when
+        self.events_processed += 1
+        cls = event.__class__
+        if cls is _Scheduled:
+            event.fn()
+            return
+        if cls is _Resume:
+            event.process._do_step(event.ok, event.value)
+            return
         callbacks = event.callbacks
         event.callbacks = None
         event.processed = True
@@ -333,13 +402,39 @@ class Environment:
           :class:`SimDeadlockError` if the queue drains first.
         """
         if isinstance(until, Event):
+            # the hot loop of every experiment driver: the step() body is
+            # inlined so each queue entry costs one heappop + dispatch,
+            # with the events_processed tally kept in a local
             target = until
-            while not target.processed:
-                if not self._queue:
-                    raise SimDeadlockError(
-                        f"event queue drained before {target!r} fired"
-                    )
-                self.step()
+            queue = self._queue
+            pop = heapq.heappop
+            processed = 0
+            try:
+                while not target.processed:
+                    if not queue:
+                        raise SimDeadlockError(
+                            f"event queue drained before {target!r} fired"
+                        )
+                    when, _key, event = pop(queue)
+                    self.now = when
+                    processed += 1
+                    cls = event.__class__
+                    if cls is _Scheduled:
+                        event.fn()
+                        continue
+                    if cls is _Resume:
+                        event.process._do_step(event.ok, event.value)
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event.processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok and not isinstance(event, Interruption):
+                        raise event._value
+            finally:
+                self.events_processed += processed
             if not target._ok:
                 raise target._value
             return target._value

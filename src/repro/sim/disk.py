@@ -11,7 +11,7 @@ as on the real testbed where recently appended pages are still resident.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Callable, Union
 
 import numpy as np
 
@@ -32,7 +32,7 @@ class Disk:
         read_bandwidth: float,
         write_bandwidth: float,
         cache_hit_ratio: float = 0.0,
-        rng: np.random.Generator | None = None,
+        rng: Union[np.random.Generator, Callable[[], np.random.Generator], None] = None,
     ) -> None:
         if read_bandwidth <= 0 or write_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
@@ -42,7 +42,14 @@ class Disk:
         self.read_bandwidth = read_bandwidth
         self.write_bandwidth = write_bandwidth
         self.cache_hit_ratio = cache_hit_ratio
-        self.rng = rng or np.random.default_rng(0)
+        # *rng* may be a ready generator or a zero-arg factory; factories
+        # are materialized on the first draw. Building a numpy Generator
+        # costs ~100µs, so eagerly constructing one per machine dominated
+        # deployment setup on write-only workloads that never draw.
+        self._rng: np.random.Generator | None = (
+            rng if isinstance(rng, np.random.Generator) else None
+        )
+        self._rng_factory = rng if callable(rng) else None
         self._spindle = Resource(env, capacity=1)
         #: lifetime counters
         self.bytes_written = 0
@@ -50,45 +57,62 @@ class Disk:
         self.cache_hits = 0
         self.cache_misses = 0
 
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            factory = self._rng_factory
+            self._rng = factory() if factory else np.random.default_rng(0)
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
+
     # -- public API ----------------------------------------------------------
 
-    def write(self, nbytes: int) -> Event:
-        """Persist *nbytes*; the returned event fires when on disk."""
+    def write(self, nbytes: int, notify: bool = True) -> Event:
+        """Persist *nbytes*; the returned event fires when on disk.
+
+        With ``notify=False`` no completion event is allocated (returns
+        None) — for asynchronous persistence where nobody waits.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.env.process(self._write_proc(nbytes), name="disk-write")
+
+        def persisted() -> None:
+            self.bytes_written += nbytes
+
+        return self._spindle.round_trip(
+            0.0, nbytes / self.write_bandwidth, persisted, notify=notify
+        )
 
     def read(self, nbytes: int) -> Event:
         """Fetch *nbytes*; may be served from the page cache."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.env.process(self._read_proc(nbytes), name="disk-read")
-
-    # -- processes -----------------------------------------------------------
-
-    def _write_proc(self, nbytes: int) -> Generator[Event, Any, None]:
-        req = yield self._spindle.request()
-        try:
-            yield self.env.timeout(nbytes / self.write_bandwidth)
-            self.bytes_written += nbytes
-        finally:
-            self._spindle.release(req)
-
-    def _read_proc(self, nbytes: int) -> Generator[Event, Any, None]:
         if nbytes == 0:
-            return
+            done = Event(self.env)
+            done.succeed(None)
+            return done
         if self.rng.random() < self.cache_hit_ratio:
+            # page-cache hit: a memory copy, no spindle involved
             self.cache_hits += 1
-            yield self.env.timeout(nbytes / self.CACHE_BANDWIDTH)
-            self.bytes_read += nbytes
-            return
+            done = Event(self.env)
+
+            def copied() -> None:
+                self.bytes_read += nbytes
+                done.succeed(None)
+
+            self.env.call_in(nbytes / self.CACHE_BANDWIDTH, copied)
+            return done
         self.cache_misses += 1
-        req = yield self._spindle.request()
-        try:
-            yield self.env.timeout(nbytes / self.read_bandwidth)
+
+        def fetched() -> None:
             self.bytes_read += nbytes
-        finally:
-            self._spindle.release(req)
+
+        return self._spindle.round_trip(
+            0.0, nbytes / self.read_bandwidth, fetched
+        )
 
     @property
     def queue_length(self) -> int:

@@ -7,23 +7,65 @@ according to the classic progressive-filling (max-min fair) allocation,
 which is the standard fluid approximation of many TCP streams over a
 switched Ethernet — the regime of the paper's Grid'5000 Orsay cluster.
 
-Rates are recomputed whenever a flow starts or finishes, so a run is a
-sequence of fluid intervals with piecewise-constant rates. Transfers
-within one node (client co-located with a provider) bypass the NICs at a
-fixed loopback bandwidth.
+A run is a sequence of fluid intervals with piecewise-constant rates.
+Two allocators implement the same max-min semantics:
+
+* ``allocator="incremental"`` (default) — on a flow arrival or
+  completion, only the *connected component* of flows that (transitively)
+  share a NIC/backbone resource with the changed flow is refilled; a
+  per-resource membership index keeps disjoint traffic untouched.
+  Progress is accounted lazily per flow — ``(last_update, rate)`` — and
+  completions live in a heap, so an event never sweeps the whole flow
+  table. This is what lets the kernel scale to thousands of concurrent
+  flows (the regime of the paper's 246-client sweeps).
+* ``allocator="reference"`` — the original full recompute: every event
+  settles every active flow and refills the entire flow set from
+  scratch. O(flows²·rounds) over a fluid sequence, but trivially
+  correct; the incremental allocator is differentially tested against
+  it (see ``check_reference``).
+
+Max-min fairness decomposes exactly over connected components of the
+flow/resource sharing graph, so the scoped refill is not an
+approximation. With a backbone configured every non-local flow shares
+one resource and the component always spans all flows — the scoped path
+then degenerates to (and is counted as) a full recompute.
+
+Transfers within one node (client co-located with a provider) bypass
+the NICs at a fixed loopback bandwidth.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..common.units import GiB
+from ..obs import NULL_OBS, Observability
 from .core import Environment, Event
 
 #: flows whose remaining volume drops below this many bytes are complete
 _EPSILON_BYTES = 1e-3
+
+#: allocator mode names accepted by :class:`Network`
+ALLOCATORS = ("incremental", "reference")
+
+
+class _NicResource:
+    """One shareable capacity (a NIC direction or the backbone) plus the
+    set of flow ids currently crossing it — the membership index that
+    scopes incremental reallocation."""
+
+    __slots__ = ("key", "capacity", "members")
+
+    def __init__(self, key: Hashable, capacity: float) -> None:
+        self.key = key
+        self.capacity = capacity
+        self.members: Set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_NicResource {self.key} cap={self.capacity:g} n={len(self.members)}>"
 
 
 @dataclass(slots=True)
@@ -36,13 +78,19 @@ class NetNode:
     #: lifetime counters, for metrics/debugging
     bytes_sent: float = 0.0
     bytes_received: float = 0.0
+    #: lifetime round trips initiated/served via :meth:`Network.rpc`
+    rpcs_sent: int = 0
+    rpcs_received: int = 0
+    #: the node's shareable NIC directions (set by :meth:`Network.add_node`)
+    _up_res: object = field(default=None, repr=False)
+    _down_res: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.up_capacity <= 0 or self.down_capacity <= 0:
             raise ValueError(f"capacities must be positive on {self.name!r}")
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)  # identity hash: flows live in sets
 class _Flow:
     fid: int
     src: NetNode
@@ -51,6 +99,11 @@ class _Flow:
     event: Event
     local: bool
     rate: float = 0.0
+    #: last instant this flow's progress was settled into ``remaining``
+    last_update: float = 0.0
+    #: bumped whenever the rate changes; stale completion-heap entries
+    #: carry an older epoch and are discarded when popped
+    epoch: int = 0
 
 
 class Network:
@@ -65,6 +118,8 @@ class Network:
         latency: float = 0.0,
         backbone_bandwidth: float = 0.0,
         flow_rate_cap: float = 0.0,
+        allocator: str = "incremental",
+        obs: Optional[Observability] = None,
     ) -> None:
         """*backbone_bandwidth* of 0 means a non-blocking fabric;
         *flow_rate_cap* of 0 means flows are limited only by the NICs
@@ -76,17 +131,41 @@ class Network:
             raise ValueError("backbone_bandwidth must be non-negative")
         if flow_rate_cap < 0:
             raise ValueError("flow_rate_cap must be non-negative")
+        if allocator not in ALLOCATORS:
+            raise ValueError(f"unknown allocator {allocator!r} (use {ALLOCATORS})")
         self.env = env
         self.latency = latency
         self.backbone_bandwidth = backbone_bandwidth
         self.flow_rate_cap = flow_rate_cap
+        self.allocator = allocator
+        self._incremental = allocator == "incremental"
+        self.obs = obs or NULL_OBS
         self.nodes: Dict[str, NetNode] = {}
         self._flows: Dict[int, _Flow] = {}
         self._fid = itertools.count()
-        self._last_update = 0.0
+        #: flows indexed by (src name, dst name), for current_rate()
+        self._pair_flows: Dict[Tuple[str, str], Set[_Flow]] = {}
+        self._backbone: Optional[_NicResource] = (
+            _NicResource(("__backbone__", None), backbone_bandwidth)
+            if backbone_bandwidth > 0
+            else None
+        )
+        #: completion heap: (absolute completion time, fid, epoch)
+        self._completions: List[Tuple[float, int, int]] = []
+        self._armed_at: Optional[float] = None
         self._timer_generation = 0
+        #: reference-mode global settle point
+        self._last_update = 0.0
         #: lifetime counter of completed transfers
         self.completed_transfers = 0
+        #: when True, every incremental flow-change event re-runs the
+        #: reference allocator over the full flow set and asserts the
+        #: rates agree (slow; differential tests only)
+        self.check_reference = False
+        reg = self.obs.registry
+        self._c_realloc = reg.counter("sim.net.reallocs")
+        self._c_full = reg.counter("sim.net.realloc_full")
+        self._h_scope = reg.histogram("sim.net.realloc_scope")
 
     # -- topology -----------------------------------------------------------
 
@@ -106,6 +185,8 @@ class Network:
         if up is None or down is None:
             raise ValueError("specify bandwidth= or both up= and down=")
         node = NetNode(name, up, down)
+        node._up_res = _NicResource((name, "up"), up)
+        node._down_res = _NicResource((name, "down"), down)
         self.nodes[name] = node
         return node
 
@@ -128,28 +209,72 @@ class Network:
         done = Event(self.env)
         if nbytes == 0:
             # latency-only RPC
-            t = self.env.timeout(self.latency)
-            t.callbacks.append(lambda _ev: done.succeed(0.0))
+            self.env.call_in(self.latency, lambda: done.succeed(0.0))
             return done
         if self.latency > 0:
-            t = self.env.timeout(self.latency)
-            t.callbacks.append(lambda _ev: self._start_flow(src_node, dst_node, nbytes, done))
+            self.env.call_in(
+                self.latency,
+                lambda: self._start_flow(src_node, dst_node, nbytes, done),
+            )
         else:
             self._start_flow(src_node, dst_node, nbytes, done)
         return done
 
     def rpc(self, src: str, dst: str) -> Event:
-        """A latency-only round trip (request + reply), no payload."""
+        """A latency-only round trip (request + reply), no payload.
+
+        Both endpoints must exist — a typo'd node name raises instead of
+        silently simulating a zero-cost RPC — and the round trip is
+        counted on each node's RPC counters.
+        """
+        try:
+            src_node = self.nodes[src]
+        except KeyError:
+            raise ValueError(f"rpc from unknown node {src!r}") from None
+        try:
+            dst_node = self.nodes[dst]
+        except KeyError:
+            raise ValueError(f"rpc to unknown node {dst!r}") from None
+        src_node.rpcs_sent += 1
+        dst_node.rpcs_received += 1
         done = Event(self.env)
-        t = self.env.timeout(2 * self.latency)
-        t.callbacks.append(lambda _ev: done.succeed(None))
+        self.env.call_in(2 * self.latency, lambda: done.succeed(None))
         return done
 
-    # -- internals ----------------------------------------------------------
+    # -- shared internals ----------------------------------------------------
+
+    def _flow_resources(self, flow: _Flow) -> List[_NicResource]:
+        res = [flow.src._up_res, flow.dst._down_res]
+        if self._backbone is not None:
+            res.append(self._backbone)
+        return res
+
+    def _register_flow(self, flow: _Flow) -> None:
+        self._flows[flow.fid] = flow
+        pair = (flow.src.name, flow.dst.name)
+        bucket = self._pair_flows.get(pair)
+        if bucket is None:
+            bucket = self._pair_flows[pair] = set()
+        bucket.add(flow)
+
+    def _unregister_flow(self, flow: _Flow) -> None:
+        del self._flows[flow.fid]
+        pair = (flow.src.name, flow.dst.name)
+        bucket = self._pair_flows.get(pair)
+        if bucket is not None:
+            bucket.discard(flow)
+            if not bucket:
+                del self._pair_flows[pair]
+        if not flow.local and self._incremental:
+            for res in self._flow_resources(flow):
+                res.members.discard(flow.fid)
 
     def _start_flow(
         self, src: NetNode, dst: NetNode, nbytes: float, done: Event
     ) -> None:
+        if self._incremental:
+            self._start_flow_incremental(src, dst, nbytes, done)
+            return
         self._advance()
         flow = _Flow(
             fid=next(self._fid),
@@ -158,9 +283,268 @@ class Network:
             remaining=float(nbytes),
             event=done,
             local=(src is dst),
+            last_update=self.env.now,
         )
-        self._flows[flow.fid] = flow
+        self._register_flow(flow)
         self._reallocate_and_arm()
+
+    def _local_rate(self) -> float:
+        rate = self.LOOPBACK_BANDWIDTH
+        if self.flow_rate_cap > 0:
+            rate = min(rate, self.flow_rate_cap)
+        return rate
+
+    # -- incremental allocator ----------------------------------------------
+
+    def _start_flow_incremental(
+        self, src: NetNode, dst: NetNode, nbytes: float, done: Event
+    ) -> None:
+        now = self.env.now
+        flow = _Flow(
+            fid=next(self._fid),
+            src=src,
+            dst=dst,
+            remaining=float(nbytes),
+            event=done,
+            local=(src is dst),
+            last_update=now,
+        )
+        self._register_flow(flow)
+        if flow.local:
+            flow.rate = self._local_rate()
+            self._push_completion(flow, now)
+            self._arm()
+        else:
+            for res in self._flow_resources(flow):
+                res.members.add(flow.fid)
+            self._realloc(self._flow_resources(flow))
+        if self.check_reference:
+            self._assert_matches_reference()
+
+    def _settle(self, flow: _Flow, now: float) -> None:
+        """Fold the fluid progress since the flow's last rate change into
+        its ``remaining`` and the endpoints' byte counters."""
+        dt = now - flow.last_update
+        if dt > 0.0 and flow.rate > 0.0:
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            flow.src.bytes_sent += moved
+            flow.dst.bytes_received += moved
+        flow.last_update = now
+
+    def _push_completion(self, flow: _Flow, now: float) -> None:
+        if flow.rate > 0.0:
+            heapq.heappush(
+                self._completions,
+                (now + flow.remaining / flow.rate, flow.fid, flow.epoch),
+            )
+
+    def _component(self, seeds: List[_NicResource]) -> List[_Flow]:
+        """All flows transitively sharing a resource with *seeds*."""
+        comp: List[_Flow] = []
+        seen_res: Set[_NicResource] = set(seeds)
+        seen_fids: Set[int] = set()
+        stack = list(seeds)
+        flows = self._flows
+        backbone = self._backbone
+        while stack:
+            res = stack.pop()
+            for fid in res.members:
+                if fid in seen_fids:
+                    continue
+                seen_fids.add(fid)
+                flow = flows[fid]
+                comp.append(flow)
+                up = flow.src._up_res
+                if up not in seen_res:
+                    seen_res.add(up)
+                    stack.append(up)
+                down = flow.dst._down_res
+                if down not in seen_res:
+                    seen_res.add(down)
+                    stack.append(down)
+                if backbone is not None and backbone not in seen_res:
+                    seen_res.add(backbone)
+                    stack.append(backbone)
+        return comp
+
+    def _realloc(self, seeds: List[_NicResource]) -> None:
+        """Refill the component reachable from *seeds* and re-arm."""
+        comp = self._component(seeds)
+        self._c_realloc.inc()
+        self._h_scope.observe(float(len(comp)))
+        if len(comp) == len(self._flows):
+            self._c_full.inc()
+        if comp:
+            rates = self._fill(comp)
+            now = self.env.now
+            flows = self._flows
+            for fid, rate in rates.items():
+                flow = flows[fid]
+                if rate != flow.rate:
+                    self._settle(flow, now)
+                    flow.rate = rate
+                    flow.epoch += 1
+                    self._push_completion(flow, now)
+        self._arm()
+
+    def _fill(self, comp: List[_Flow]) -> Dict[int, float]:
+        """Progressive-filling max-min fair allocation restricted to one
+        connected component; returns fid → rate.
+
+        Identical semantics (and, per component, identical arithmetic)
+        to :meth:`_compute_rates_reference`.
+        """
+        flows = self._flows
+        unfrozen: Set[int] = {flow.fid for flow in comp}
+        rates: Dict[int, float] = {fid: 0.0 for fid in unfrozen}
+
+        cap: Dict[_NicResource, float] = {}
+        members: Dict[_NicResource, Set[int]] = {}
+
+        def register(res: _NicResource, fid: int) -> None:
+            if res not in cap:
+                cap[res] = res.capacity
+                members[res] = set()
+            members[res].add(fid)
+
+        for fid in unfrozen:
+            flow = flows[fid]
+            register(flow.src._up_res, fid)
+            register(flow.dst._down_res, fid)
+            if self._backbone is not None:
+                register(self._backbone, fid)
+
+        flow_rate_cap = self.flow_rate_cap
+        while unfrozen:
+            # fair-share increment is set by the most contended resource …
+            share = min(cap[res] / len(m) for res, m in members.items() if m)
+            # … unless some flow hits its cap first
+            headroom = share
+            if flow_rate_cap > 0:
+                headroom = min(flow_rate_cap - rates[fid] for fid in unfrozen)
+                headroom = min(share, max(headroom, 0.0))
+            for fid in unfrozen:
+                rates[fid] += headroom
+                flow = flows[fid]
+                cap[flow.src._up_res] -= headroom
+                cap[flow.dst._down_res] -= headroom
+                if self._backbone is not None:
+                    cap[self._backbone] -= headroom
+            frozen_now: Set[int] = set()
+            if headroom >= share * (1 - 1e-12):
+                # a resource saturated: freeze every flow through it
+                for res, m in members.items():
+                    if m and cap[res] / len(m) <= share * 1e-9:
+                        frozen_now |= m
+            if flow_rate_cap > 0:
+                frozen_now |= {
+                    fid
+                    for fid in unfrozen
+                    if rates[fid] >= flow_rate_cap * (1 - 1e-12)
+                }
+            if not frozen_now:  # pragma: no cover - defensive against fp drift
+                frozen_now = set(unfrozen)
+            for fid in frozen_now:
+                if fid not in rates:
+                    continue
+                flow = flows[fid]
+                for res in (flow.src._up_res, flow.dst._down_res, self._backbone):
+                    if res is None:
+                        continue
+                    m = members.get(res)
+                    if m is not None:
+                        m.discard(fid)
+            unfrozen -= frozen_now
+        return rates
+
+    def _arm(self) -> None:
+        """Point the single pending timer at the earliest live completion."""
+        heap = self._completions
+        flows = self._flows
+        while heap:
+            _t, fid, epoch = heap[0]
+            flow = flows.get(fid)
+            if flow is None or flow.epoch != epoch:
+                heapq.heappop(heap)
+                continue
+            break
+        if not heap:
+            self._armed_at = None
+            return
+        t = heap[0][0]
+        if self._armed_at is not None and self._armed_at <= t:
+            return  # the pending timer fires first anyway
+        self._timer_generation += 1
+        generation = self._timer_generation
+        self._armed_at = t
+        self.env.call_at(t, lambda: self._on_completion_timer(generation))
+
+    def _on_completion_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a newer arm
+        self._armed_at = None
+        now = self.env.now
+        heap = self._completions
+        flows = self._flows
+        finished: List[_Flow] = []
+        seeds: List[_NicResource] = []
+        while heap:
+            t, fid, epoch = heap[0]
+            flow = flows.get(fid)
+            if flow is None or flow.epoch != epoch:
+                heapq.heappop(heap)
+                continue
+            if t > now:
+                break
+            heapq.heappop(heap)
+            self._settle(flow, now)
+            if (
+                flow.remaining <= _EPSILON_BYTES
+                # sub-resolution residue: the clock cannot advance by the
+                # time the residue needs, so the flow is done now
+                or now + flow.remaining / flow.rate <= now
+            ):
+                self._unregister_flow(flow)
+                finished.append(flow)
+                if not flow.local:
+                    seeds.extend(self._flow_resources(flow))
+            else:  # pragma: no cover - fp drift between heap entry and settle
+                flow.epoch += 1
+                self._push_completion(flow, now)
+        if seeds:
+            self._realloc(seeds)
+        else:
+            self._arm()
+        for flow in finished:
+            self.completed_transfers += 1
+            flow.event.succeed(now)
+        if self.check_reference:
+            self._assert_matches_reference()
+
+    def _assert_matches_reference(self) -> None:
+        """Differential oracle: global reference refill must agree with
+        the incrementally maintained rates (slow; tests only)."""
+        actual = {fid: f.rate for fid, f in self._flows.items()}
+        self._compute_rates_reference()
+        mismatches = []
+        for fid, flow in self._flows.items():
+            expect = flow.rate
+            got = actual[fid]
+            flow.rate = got  # restore the incremental state
+            tol = 1e-6 * max(1.0, abs(expect))
+            if abs(got - expect) > tol:
+                mismatches.append(
+                    f"flow {fid} {flow.src.name}->{flow.dst.name}: "
+                    f"incremental {got!r} vs reference {expect!r}"
+                )
+        if mismatches:
+            raise AssertionError(
+                "incremental allocator diverged from reference:\n"
+                + "\n".join(mismatches)
+            )
+
+    # -- reference allocator (original full recompute) ------------------------
 
     def _advance(self) -> None:
         """Account fluid progress since the last rate change."""
@@ -175,16 +559,20 @@ class Network:
             flow.remaining -= moved
             flow.src.bytes_sent += moved
             flow.dst.bytes_received += moved
+            flow.last_update = now
             if flow.remaining <= _EPSILON_BYTES:
                 finished.append(flow)
         for flow in finished:
-            del self._flows[flow.fid]
+            self._unregister_flow(flow)
             self.completed_transfers += 1
             flow.event.succeed(self.env.now)
 
     def _reallocate_and_arm(self) -> None:
         """Recompute max-min fair rates and arm the next-completion timer."""
-        self._compute_rates()
+        self._compute_rates_reference()
+        self._c_realloc.inc()
+        self._c_full.inc()
+        self._h_scope.observe(float(len(self._flows)))
         self._timer_generation += 1
         generation = self._timer_generation
         horizon = min(
@@ -202,14 +590,18 @@ class Network:
         self._advance()
         self._reallocate_and_arm()
 
-    def _compute_rates(self) -> None:
+    def _compute_rates_reference(self) -> None:
         """Progressive-filling max-min fair allocation over NIC capacities,
-        with an optional per-flow rate cap.
+        with an optional per-flow rate cap — the original full recompute.
 
         Every non-local flow consumes its source's up-capacity, its
         destination's down-capacity, and (when configured) the shared
         backbone; a flow additionally freezes once it reaches the
         per-flow cap. Local flows run at the loopback bandwidth.
+
+        Sets ``flow.rate`` on every active flow. The incremental
+        allocator is the scoped equivalent and is differentially tested
+        against this implementation.
         """
         unfrozen: Set[int] = set()
         for flow in self._flows.values():
@@ -292,10 +684,13 @@ class Network:
         """Number of in-flight transfers."""
         return len(self._flows)
 
+    def active_flows_between(self, src: str, dst: str) -> int:
+        """Number of in-flight transfers from *src* to *dst*."""
+        return len(self._pair_flows.get((src, dst), ()))
+
     def current_rate(self, src: str, dst: str) -> float:
         """Aggregate current rate of all flows from *src* to *dst* (B/s)."""
-        return sum(
-            f.rate
-            for f in self._flows.values()
-            if f.src.name == src and f.dst.name == dst
-        )
+        bucket = self._pair_flows.get((src, dst))
+        if not bucket:
+            return 0.0
+        return sum(f.rate for f in bucket)

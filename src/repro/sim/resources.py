@@ -10,10 +10,11 @@
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Any, Deque, Generator
+from typing import Any, Callable, Deque, Generator, Optional
 
-from .core import Environment, Event
+from .core import Environment, Event, _Scheduled
 
 
 class Request(Event):
@@ -40,7 +41,9 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.in_use = 0
-        self._waiting: Deque[Request] = deque()
+        # FIFO of waiters: Request events from generator-based users,
+        # bare grant callables from round_trip's contended arrivals
+        self._waiting: Deque[Any] = deque()
 
     def request(self) -> Request:
         """Ask for one unit; the returned event fires on grant."""
@@ -56,13 +59,100 @@ class Resource:
         """Return the unit held by *request*; admits the next waiter."""
         if request.resource is not self:
             raise ValueError("request belongs to a different resource")
+        self._release_unit()
+
+    def _release_unit(self) -> None:
         if self._waiting:
             nxt = self._waiting.popleft()
-            nxt.succeed(nxt)
+            # the queue holds Request events (generator-based users) and
+            # bare grant callbacks (round_trip's contended arrivals)
+            if nxt.__class__ is Request:
+                nxt.succeed(nxt)
+            else:
+                nxt()
         else:
             if self.in_use <= 0:  # pragma: no cover - defensive
                 raise RuntimeError("release without matching request")
             self.in_use -= 1
+
+    def round_trip(
+        self,
+        latency: float,
+        service: float,
+        fn: Optional[Callable[[], Any]] = None,
+        notify: bool = True,
+    ) -> Optional[Event]:
+        """One RPC round trip against this resource.
+
+        Models the standard simulated RPC: one-way *latency* to the
+        server, FIFO admission to one unit, *service* seconds holding
+        it, then *latency* back. The returned event fires at the reply's
+        arrival with ``fn()``'s result (*fn* runs at the end of service,
+        inside the critical section; if it raises, the event fails at
+        the service point, as the generator-based equivalent would).
+
+        With ``notify=False`` the round trip is fire-and-forget: no
+        completion event and no reply leg at all (asynchronous
+        persistence uses this; see :func:`batch_round_trips` for the
+        batched fan-in form).
+
+        This is event-chained rather than process-based on purpose:
+        RPCs are the hottest construct in the experiment drivers, and
+        skipping the Process/generator/Timeout machinery roughly halves
+        the kernel work per call.
+        """
+        env = self.env
+        done = Event(env) if notify else None
+
+        def serviced() -> None:
+            try:
+                value = fn() if fn is not None else None
+            except Exception as exc:
+                self._release_unit()
+                if done is None:
+                    raise
+                done.fail(exc)
+                return
+            self._release_unit()
+            if done is None:
+                return
+            # fire `done` with the reply exactly one latency later —
+            # equivalent to a Timeout but without a second event
+            done.triggered = True
+            done._value = value
+            env._schedule(done, delay=latency)
+
+        queue = env._queue
+
+        def start_service() -> None:
+            # inlined call_in(service, serviced): this is the hottest
+            # scheduling site in the kernel
+            env._eid += 1
+            heapq.heappush(
+                queue, (env.now + service, env._eid, _Scheduled(serviced))
+            )
+
+        def arrive() -> None:
+            if self.in_use < self.capacity:
+                # uncontended grant: take the unit inline, no Request
+                self.in_use += 1
+                start_service()
+            else:
+                # contended: queue a bare grant callback — the unit is
+                # transferred at release time without a Request event
+                self._waiting.append(start_service)
+
+        if latency:
+            env._eid += 1
+            heapq.heappush(
+                queue, (env.now + latency, env._eid, _Scheduled(arrive))
+            )
+        else:
+            # a zero-latency round trip (local service, e.g. a disk)
+            # joins the queue at the call site, like the generator-based
+            # equivalent whose request ran on the bootstrap step
+            arrive()
+        return done
 
     def cancel(self, request: Request) -> None:
         """Withdraw a not-yet-granted request from the queue."""
@@ -88,6 +178,63 @@ class Resource:
         finally:
             self.release(req)
         return result
+
+
+def batch_round_trips(
+    resources: "list[Resource]",
+    latency: float,
+    service: float,
+    done: Event,
+) -> None:
+    """Fan one RPC out to each resource in *resources* (duplicates allowed)
+    in a single arrival step; *done* fires at the last reply's arrival.
+
+    Equivalent to issuing ``len(resources)`` independent
+    :meth:`Resource.round_trip` calls at once and waiting for all of
+    them — the batch departs together, so every RPC arrives at the same
+    instant and in list order, and the last service to end is the last
+    reply home (one shared *latency* hop). Collapsing the batch to one
+    arrival entry plus a countdown turns the hottest fan-in
+    (metadata-RPC charging) from ~3 queue entries per RPC into ~1.
+    """
+    env = resources[0].env
+    remaining = len(resources)
+
+    def make_serviced(res: Resource):
+        def serviced() -> None:
+            nonlocal remaining
+            res._release_unit()
+            remaining -= 1
+            if remaining == 0:
+                # last service done: the straggler's reply lands one
+                # latency later — fire `done` there, no per-RPC reply leg
+                done.triggered = True
+                done._value = None
+                env._schedule(done, delay=latency)
+
+        return serviced
+
+    queue = env._queue
+
+    def arrive() -> None:
+        for res in resources:
+            serviced = make_serviced(res)
+            if res.in_use < res.capacity:
+                res.in_use += 1
+                env._eid += 1
+                heapq.heappush(
+                    queue,
+                    (env.now + service, env._eid, _Scheduled(serviced)),
+                )
+            else:
+                res._waiting.append(
+                    lambda s=serviced: env.call_in(service, s)
+                )
+
+    if latency:
+        env.call_in(latency, arrive)
+    else:
+        arrive()
 
 
 class Lock(Resource):

@@ -90,3 +90,31 @@ class TestCLI:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["fig99"])
+
+    def test_bench_out_writes_schema(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_sim.json"
+        rc = cli_main(["fig3", "--bench-out", str(out), "--bench-repeats", "1"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-bench-sim/v1"
+        allocs = [r["allocator"] for r in doc["runs"]]
+        assert allocs == ["reference", "incremental"]
+        for run in doc["runs"]:
+            fig = run["figures"]["fig3"]
+            assert fig["sim_events"] > 0
+            assert fig["events_per_s"] > 0
+            assert fig["reallocs"] > 0
+            assert run["totals"]["wall_s"] > 0
+        assert "fig3" in doc["speedup"] and "total" in doc["speedup"]
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_out_rejects_filecount(self, capsys, tmp_path):
+        rc = cli_main(
+            ["filecount", "--bench-out", str(tmp_path / "b.json")]
+        )
+        assert rc == 2
+
+    def test_allocator_flag_runs_reference(self, capsys):
+        rc = cli_main(["fig3", "--allocator", "reference"])
+        assert rc == 0
+        assert "fig3" in capsys.readouterr().out

@@ -86,6 +86,71 @@ def test_summary_keys():
     assert snap["histograms"]["lat"]["count"] == 1.0
 
 
+class TestReservoir:
+    def test_below_cap_is_exact(self):
+        h = Histogram("lat", max_samples=1000)
+        values = list(range(1, 101))
+        for v in values:
+            h.observe(float(v))
+        for p in (0, 50, 95, 100):
+            assert h.percentile(p) == pytest.approx(np.percentile(values, p))
+
+    def test_exact_moments_over_capped_stream(self):
+        h = Histogram("lat", max_samples=64)
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=1.0, sigma=0.5, size=10_000)
+        for v in values:
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert h.mean == pytest.approx(float(np.mean(values)))
+        assert h.min == float(np.min(values))
+        assert h.max == float(np.max(values))
+        assert len(h._samples) == 64
+
+    def test_capped_percentiles_within_tolerance(self):
+        """Reservoir percentiles track the full stream within a few
+        percent — the bound the perf harness relies on."""
+        h = Histogram("lat", max_samples=1000)
+        rng = np.random.default_rng(42)
+        values = rng.lognormal(mean=2.0, sigma=0.7, size=50_000)
+        for v in values:
+            h.observe(float(v))
+        for p in (50, 90, 95, 99):
+            exact = float(np.percentile(values, p))
+            assert h.percentile(p) == pytest.approx(exact, rel=0.10)
+
+    def test_deterministic_given_name(self):
+        def fill(name):
+            h = Histogram(name, max_samples=50)
+            for v in range(2000):
+                h.observe(float(v))
+            return sorted(h._samples)
+
+        assert fill("lat") == fill("lat")
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=0)
+
+    def test_registry_default_cap_applies(self):
+        reg = MetricsRegistry(default_hist_max_samples=8)
+        h = reg.histogram("lat")
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert len(h._samples) == 8
+        # counters/gauges unaffected by the histogram default
+        reg.counter("c").inc()
+        assert reg.value("c") == 1.0
+
+    def test_unbounded_by_default(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in range(5000):
+            h.observe(float(v))
+        assert len(h._samples) == 5000
+
+
 def test_disabled_registry_hands_out_null_instruments():
     reg = MetricsRegistry(enabled=False)
     c = reg.counter("a")
