@@ -1,10 +1,11 @@
 """Perf smoke test — the CI gate on simulator throughput.
 
-Runs a reduced sweep (Figure 3 at quick scale, the tentpole workload:
-up to 246 concurrent appenders) through the bench harness and fails if
-simulated events/sec regresses more than 30% against the committed
-baseline, or if the incremental allocator stops beating the reference
-one outright.
+Runs a reduced sweep through the bench harness for every figure listed
+in the committed baseline (Figure 3, the concurrent-append tentpole
+workload, and Figure 6, the data-join shuffle whose same-instant flow
+churn the coalesced reallocation batches) and fails if simulated
+events/sec regresses more than 30% against the committed floor, or if
+the incremental allocator stops beating the reference one outright.
 
 Not part of the tier-1 suite (pyproject collects ``tests/`` only); CI
 runs it as a separate perf-smoke job::
@@ -27,27 +28,41 @@ BASELINE_PATH = pathlib.Path(__file__).with_name("baseline.json")
 #: committed baseline
 REGRESSION_FLOOR = 0.70
 
+with BASELINE_PATH.open() as _fp:
+    _BASELINE = json.load(_fp)
+
 
 @pytest.fixture(scope="module")
 def baseline():
-    with BASELINE_PATH.open() as fp:
-        return json.load(fp)
+    return _BASELINE
 
 
-def test_events_per_s_vs_baseline(baseline):
+@pytest.mark.parametrize("figure", sorted(_BASELINE["figures"]))
+def test_events_per_s_vs_baseline(baseline, figure):
     fb = bench_figure(
-        baseline["figure"],
+        figure,
         baseline["allocator"],
         scale=baseline["scale"],
         repeats=2,
     )
     assert fb.sim_events > 0 and fb.reallocs > 0, "instruments not wired"
-    floor = REGRESSION_FLOOR * baseline["events_per_s"]
+    floor = REGRESSION_FLOOR * baseline["figures"][figure]["events_per_s"]
     assert fb.events_per_s >= floor, (
-        f"simulator throughput regressed: {fb.events_per_s:,.0f} events/s "
-        f"< {floor:,.0f} (= {REGRESSION_FLOOR:.0%} of baseline "
-        f"{baseline['events_per_s']:,.0f}); if the hardware class changed, "
-        f"re-baseline benchmarks/perf/baseline.json"
+        f"{figure} simulator throughput regressed: "
+        f"{fb.events_per_s:,.0f} events/s < {floor:,.0f} "
+        f"(= {REGRESSION_FLOOR:.0%} of baseline "
+        f"{baseline['figures'][figure]['events_per_s']:,.0f}); if the "
+        f"hardware class changed, re-baseline benchmarks/perf/baseline.json"
+    )
+
+
+def test_coalescing_counters_wired(baseline):
+    """fig6's same-instant shuffle churn must actually coalesce."""
+    fb = bench_figure("fig6", "incremental", scale=baseline["scale"], repeats=1)
+    assert fb.flushes > 0, "no end-of-timestep flushes recorded"
+    assert fb.coalesced_changes > fb.flushes, (
+        f"coalescing ineffective: {fb.coalesced_changes} flow changes "
+        f"over {fb.flushes} flushes"
     )
 
 

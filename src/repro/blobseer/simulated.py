@@ -180,30 +180,51 @@ class SimBlobSeer:
 
     # -- data-plane helpers --------------------------------------------------------
 
-    def _ship_page(
-        self, client: str, providers: Sequence[str], nbytes: int
-    ) -> Event:
-        """Send one stored object to its replicas (ack on receipt).
+    def _ship_pages(
+        self,
+        client: str,
+        placements: Sequence[Sequence[str]],
+        sizes: Sequence[int],
+    ) -> List[Event]:
+        """Send a batch of stored objects to their replicas (ack on receipt).
 
         Replicas are written in parallel from the client, like BlobSeer's
-        asynchronous page writes; the returned event fires when the last
-        replica has the bytes. Persistence happens in the background.
+        asynchronous page writes. Every ``(page, replica)`` transfer of the
+        batch starts through the network's batch API, so the whole fan-out
+        costs one coalesced reallocation instead of one per replica. Each
+        returned event fires when that page's last replica has the bytes;
+        persistence happens in the background.
         """
-        transfers = [
-            self.cluster.network.transfer(client, prov, nbytes)
+        flat = self.cluster.network.transfer_many(
+            (client, prov, nbytes)
+            for providers, nbytes in zip(placements, sizes)
             for prov in providers
-        ]
-        # single replica (the default): no fan-in barrier needed
-        done = transfers[0] if len(transfers) == 1 else self.env.all_of(transfers)
+        )
+        out: List[Event] = []
+        pos = 0
+        for providers, nbytes in zip(placements, sizes):
+            transfers = flat[pos : pos + len(providers)]
+            pos += len(providers)
+            # single replica (the default): no fan-in barrier needed
+            done = (
+                transfers[0]
+                if len(transfers) == 1
+                else self.env.all_of(transfers)
+            )
 
-        def persist(ev: Event) -> None:
-            if ev._ok:
-                for prov in providers:
-                    # asynchronous persistence; disk contention accrues
-                    self.cluster.node(prov).disk.write(nbytes, notify=False)
+            def persist(
+                ev: Event,
+                providers: Sequence[str] = providers,
+                nbytes: int = nbytes,
+            ) -> None:
+                if ev._ok:
+                    for prov in providers:
+                        # asynchronous persistence; disk contention accrues
+                        self.cluster.node(prov).disk.write(nbytes, notify=False)
 
-        done.callbacks.append(persist)
-        return done
+            done.callbacks.append(persist)
+            out.append(done)
+        return out
 
     def _fetch_fragment(
         self, client: str, frag: Fragment, nbytes: int
@@ -318,7 +339,6 @@ class SimBlobSeer:
             pages=len(page_indices),
         )
         new_frags: Dict[int, Fragment] = {}
-        shippers = []
         for i, p in enumerate(page_indices):
             lo = max(offset, p * ps)
             hi = min(end, (p + 1) * ps)
@@ -329,7 +349,7 @@ class SimBlobSeer:
                 data_offset=0,
                 providers=placements[i],
             )
-            shippers.append(self._ship_page(client, placements[i], hi - lo))
+        shippers = self._ship_pages(client, placements, sizes)
         yield shippers[0] if len(shippers) == 1 else self.env.all_of(shippers)
         sp_ship.finish()
 

@@ -5,6 +5,11 @@ centralized namespace manager (a one-slot service with a configurable
 RPC time, like the version manager) so that microbenchmarks exercise
 exactly the paper's two-step append: BLOB append, then a file-size
 update at the namespace manager.
+
+BSFS has no data-plane flows of its own: every byte moves through
+``SimBlobSeer``, whose page fan-outs start via the network's
+``transfer_many`` batch API so same-instant replica churn coalesces
+into one end-of-timestep reallocation (see ``sim/network.py``).
 """
 
 from __future__ import annotations

@@ -127,7 +127,9 @@ def run_datajoin_hdfs(
         )
         yield env.timeout(cal.task_overhead_seconds)
         sp_sh = tracer.start("mr.shuffle", cat="mapreduce", parent=sp)
-        yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        yield env.process(
+            _shuffle(cluster, env, map_hosts, host, cal, n_reducers, partition)
+        )
         sp_sh.finish(n_maps=len(map_hosts))
         yield env.timeout(
             cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
@@ -204,7 +206,9 @@ def run_datajoin_bsfs(
         )
         yield env.timeout(cal.task_overhead_seconds)
         sp_sh = tracer.start("mr.shuffle", cat="mapreduce", parent=sp)
-        yield env.process(_shuffle(cluster, env, map_hosts, host, cal, n_reducers))
+        yield env.process(
+            _shuffle(cluster, env, map_hosts, host, cal, n_reducers, partition)
+        )
         sp_sh.finish(n_maps=len(map_hosts))
         yield env.timeout(
             cal.reduce_seconds_per_output_mib * (out_bytes / MiB)
@@ -233,17 +237,26 @@ def run_datajoin_bsfs(
 
 def _shuffle(
     cluster, env, map_hosts: List[str], reducer_host: str,
-    cal: DataJoinCalibration, n_reducers: int,
+    cal: DataJoinCalibration, n_reducers: int, partition: int,
 ) -> Generator[Event, None, None]:
-    """One reducer fetching its partition of every map task's output."""
-    per_map = int(
-        cal.chunk_bytes * cal.intermediate_expansion / n_reducers
-    )
+    """One reducer fetching its partition of every map task's output.
+
+    Each map task's intermediate output is split across the reducers
+    with the remainder spread over the first partitions (like
+    :func:`_spread`) — truncating to ``total // n_reducers`` for
+    everyone used to drop the *entire* shuffle once reducers
+    outnumbered intermediate bytes. All ``n_maps`` fetches start through
+    the batch transfer API: they begin at the same simulated instant,
+    so they cost one coalesced reallocation.
+    """
+    total = int(cal.chunk_bytes * cal.intermediate_expansion)
+    base = total // n_reducers
+    per_map = base + (1 if partition < total - base * n_reducers else 0)
     if per_map <= 0:
         return
-    transfers = []
-    for host in map_hosts:
-        transfers.append(cluster.network.transfer(host, reducer_host, per_map))
+    transfers = cluster.network.transfer_many(
+        (host, reducer_host, per_map) for host in map_hosts
+    )
     yield env.all_of(transfers)
 
 

@@ -86,9 +86,11 @@ class SimHDFS:
             block_id, targets = yield self._nn_call(
                 lambda: self.namenode.allocate_block(path, client)
             )
-            transfers = [
-                self.cluster.network.transfer(client, dn, chunk) for dn in targets
-            ]
+            # replication fan-out: all replicas start at the same instant,
+            # so batch them into one coalesced reallocation
+            transfers = self.cluster.network.transfer_many(
+                (client, dn, chunk) for dn in targets
+            )
             yield self.env.all_of(transfers)
             for dn in targets:
                 # async persistence: fire-and-forget, no completion event

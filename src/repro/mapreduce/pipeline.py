@@ -38,8 +38,11 @@ from .shuffle import MapOutputStore, merge_sorted_partitions, partition_and_sort
 
 #: streaming feeder batch size (records per mini-split)
 _BATCH_RECORDS = 2000
-#: how long the feeder sleeps when the upstream file has not grown
-_TAIL_INTERVAL = 0.002
+#: first feeder sleep when the upstream file has not grown; doubles on
+#: every idle poll up to :data:`_TAIL_MAX_INTERVAL`, resets on data
+_TAIL_INTERVAL = 0.0005
+#: backoff cap — keeps the tail latency bounded near stage handoff
+_TAIL_MAX_INTERVAL = 0.016
 
 
 @dataclass(slots=True)
@@ -208,13 +211,27 @@ def _run_streaming_stage(
     feeder_error: List[BaseException] = []
 
     def feeder() -> None:
-        """Tail the upstream shared file, batching complete lines."""
+        """Tail the upstream shared file, batching complete lines.
+
+        Idle polls sleep with capped exponential backoff (reset whenever
+        bytes arrive) instead of a fixed interval, and every poll bumps
+        the ``tail_polls`` job counter so pipeline stalls show up in the
+        result's counters.
+        """
+        backoff = _TAIL_INTERVAL
+
+        def tail_sleep() -> None:
+            nonlocal backoff
+            job_counters.increment("tail_polls")
+            time.sleep(backoff)
+            backoff = min(backoff * 2, _TAIL_MAX_INTERVAL)
+
         try:
             while not fs.exists(upstream_path):
                 if upstream_done.is_set():
                     # upstream failed before creating its output
                     raise JobFailedError(f"{upstream_path} never appeared")
-                time.sleep(_TAIL_INTERVAL)
+                tail_sleep()
             stream = fs.open(upstream_path)
             pos = 0
             pending = b""
@@ -223,6 +240,7 @@ def _run_streaming_stage(
             while True:
                 piece = stream.pread(pos, 1 << 20)
                 if piece:
+                    backoff = _TAIL_INTERVAL
                     pos += len(piece)
                     pending += piece
                     *lines, pending = pending.split(b"\n")
@@ -238,13 +256,14 @@ def _run_streaming_stage(
                     # last read but before the flag was set
                     piece = stream.pread(pos, 1 << 20)
                     if piece:
+                        backoff = _TAIL_INTERVAL
                         pos += len(piece)
                         pending += piece
                         *lines, pending = pending.split(b"\n")
                         batch.extend(lines)
                         continue
                     break
-                time.sleep(_TAIL_INTERVAL)
+                tail_sleep()
             if pending:
                 batch.append(pending)
             if batch:

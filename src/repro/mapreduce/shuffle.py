@@ -13,7 +13,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..obs import NULL_OBS, Observability
 from .job import Context, Counters, Partitioner, ReduceFunction
@@ -28,6 +38,10 @@ class MapOutputStore:
 
     def __init__(self, obs: Optional[Observability] = None) -> None:
         self._data: Dict[Tuple[int, int], Partition] = {}
+        # secondary indexes so discard/size queries don't scan every
+        # (map, partition) entry under the lock
+        self._by_map: Dict[int, Set[int]] = {}
+        self._by_partition: Dict[int, Set[int]] = {}
         self._lock = threading.Lock()
         #: lifetime counter of stored bytes-ish (pair count)
         self.pairs_stored = 0
@@ -39,6 +53,8 @@ class MapOutputStore:
         """Park one partition of one map task's output."""
         with self._lock:
             self._data[(map_id, partition)] = pairs
+            self._by_map.setdefault(map_id, set()).add(partition)
+            self._by_partition.setdefault(partition, set()).add(map_id)
             self.pairs_stored += len(pairs)
             self._c_pairs_stored.inc(float(len(pairs)))
 
@@ -52,21 +68,24 @@ class MapOutputStore:
     def discard_map(self, map_id: int) -> None:
         """Drop a failed attempt's output before the retry re-stores it."""
         with self._lock:
-            for key in [k for k in self._data if k[0] == map_id]:
-                del self._data[key]
+            for partition in self._by_map.pop(map_id, ()):
+                del self._data[(map_id, partition)]
+                maps = self._by_partition[partition]
+                maps.discard(map_id)
+                if not maps:
+                    del self._by_partition[partition]
 
     def map_ids(self) -> List[int]:
         """Every map-task id that has stored output, sorted."""
         with self._lock:
-            return sorted({mid for (mid, _p) in self._data})
+            return sorted(self._by_map)
 
     def partition_sizes(self, partition: int) -> Dict[int, int]:
         """pair counts per map task for one partition (shuffle skew view)."""
         with self._lock:
             return {
-                mid: len(pairs)
-                for (mid, part), pairs in self._data.items()
-                if part == partition
+                mid: len(self._data[(mid, partition)])
+                for mid in self._by_partition.get(partition, ())
             }
 
 

@@ -309,6 +309,35 @@ class Environment:
         #: callbacks, resumes) — the denominator of events/sec in the
         #: perf harness
         self.events_processed: int = 0
+        #: end-of-timestep flush hooks (see :meth:`add_flush_hook`)
+        self._flush_hooks: List[Callable[[], None]] = []
+        self._flush_pending: bool = False
+
+    # -- end-of-timestep flush ----------------------------------------------
+
+    def add_flush_hook(self, fn: Callable[[], None]) -> None:
+        """Register *fn* to run when a timestep ends — after every queue
+        entry at the current instant has been processed, but before
+        simulated time advances (or the queue drains).
+
+        Hooks only run after :meth:`request_flush` has been called since
+        the last flush. The network uses this to coalesce same-instant
+        flow churn into one rate reallocation: rates are only observable
+        across time advancement, so deferring the refill to the end of
+        the timestep is exact, not an approximation. A hook may schedule
+        new work at the current instant; that work (and any re-requested
+        flush) is processed before time advances.
+        """
+        self._flush_hooks.append(fn)
+
+    def request_flush(self) -> None:
+        """Arm the end-of-timestep flush (idempotent within a timestep)."""
+        self._flush_pending = True
+
+    def _run_flush_hooks(self) -> None:
+        self._flush_pending = False
+        for fn in self._flush_hooks:
+            fn()
 
     # -- scheduling ---------------------------------------------------------
 
@@ -370,6 +399,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
+        if self._flush_pending and (
+            not self._queue or self._queue[0][0] > self.now
+        ):
+            self._run_flush_hooks()
         when, _key, event = heapq.heappop(self._queue)
         if when < self.now:  # pragma: no cover - defensive
             raise RuntimeError("time went backwards")
@@ -411,6 +444,15 @@ class Environment:
             processed = 0
             try:
                 while not target.processed:
+                    if self._flush_pending and (
+                        not queue or queue[0][0] > self.now
+                    ):
+                        # end of timestep: run deferred work (e.g. the
+                        # network's coalesced reallocation) before time
+                        # advances, then re-peek — the flush may have
+                        # scheduled same-instant entries
+                        self._run_flush_hooks()
+                        continue
                     if not queue:
                         raise SimDeadlockError(
                             f"event queue drained before {target!r} fired"
@@ -439,13 +481,25 @@ class Environment:
                 raise target._value
             return target._value
         if until is None:
-            while self._queue:
+            while self._queue or self._flush_pending:
+                if not self._queue:
+                    # a pending flush may arm new work (e.g. deferred
+                    # flow-completion timers) before the queue drains
+                    self._run_flush_hooks()
+                    continue
                 self.step()
             return None
         horizon = float(until)
         if horizon < self.now:
             raise ValueError(f"until={horizon} is in the past (now={self.now})")
-        while self._queue and self._queue[0][0] <= horizon:
+        while True:
+            if self._flush_pending and (
+                not self._queue or self._queue[0][0] > self.now
+            ):
+                self._run_flush_hooks()
+                continue
+            if not (self._queue and self._queue[0][0] <= horizon):
+                break
             self.step()
         self.now = horizon
         return None

@@ -96,7 +96,7 @@ class TestCLI:
         rc = cli_main(["fig3", "--bench-out", str(out), "--bench-repeats", "1"])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench-sim/v1"
+        assert doc["schema"] == "repro-bench-sim/v2"
         allocs = [r["allocator"] for r in doc["runs"]]
         assert allocs == ["reference", "incremental"]
         for run in doc["runs"]:
@@ -105,6 +105,9 @@ class TestCLI:
             assert fig["events_per_s"] > 0
             assert fig["reallocs"] > 0
             assert run["totals"]["wall_s"] > 0
+            if run["allocator"] == "incremental":
+                assert fig["flushes"] > 0
+                assert fig["coalesced_changes"] >= fig["flushes"]
         assert "fig3" in doc["speedup"] and "total" in doc["speedup"]
         assert "speedup" in capsys.readouterr().out
 
