@@ -20,9 +20,10 @@ The write/append data path follows :mod:`repro.blobseer.version_manager`:
 
 from __future__ import annotations
 
+import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..common.config import BlobSeerConfig
 from ..common.errors import (
@@ -32,6 +33,7 @@ from ..common.errors import (
     ReplicationError,
 )
 from ..common.intervals import Extent
+from ..common.rng import substream
 from ..obs import NULL_OBS, Observability
 from .metadata.dht import MetadataDHT
 from .metadata.segment_tree import (
@@ -66,12 +68,13 @@ class BlobSeerService:
         if n_providers < 1:
             raise ValueError("need at least one provider")
         self.obs = obs or NULL_OBS
+        self.seed = seed
         names = [f"provider-{i:03d}" for i in range(n_providers)]
         self.providers: Dict[str, Provider] = {
             name: Provider(name, store_factory(name) if store_factory else None)
             for name in names
         }
-        self.version_manager = ThreadedVersionManager(self.obs)
+        self.version_manager = ThreadedVersionManager(self.obs, config=self.config)
         self.dht = MetadataDHT(self.config.metadata_providers)
         self.provider_manager = ProviderManager(names, seed=seed, obs=self.obs)
 
@@ -120,6 +123,15 @@ class BlobClient:
             max_workers=service.config.client_parallelism,
             thread_name_prefix=f"blobseer-{name}",
         )
+        # replica rotation: a seeded per-client phase plus a round-robin
+        # step per fetch, so concurrent readers spread over replicas
+        # instead of all hammering the placement-order primary
+        self._replica_rr = itertools.count(
+            int(substream(service.seed, "client", name).integers(1 << 30))
+        )
+        #: providers that failed an RPC, skipped-first for this client's
+        #: lifetime (re-probed last; removed again on a successful reply)
+        self._dead_providers: Set[str] = set()
 
     # -- blob lifecycle ---------------------------------------------------------
 
@@ -205,7 +217,11 @@ class BlobClient:
             raise OutOfRangeReadError(
                 f"read [{offset}, {offset + size}) beyond version size {record.size}"
             )
-        assert record.root is not None
+        if record.root is None:
+            # aborted version over an empty blob: the whole range is a hole
+            raise PageNotFoundError(
+                f"blob {blob_id} v{record.version}: range is an aborted hole"
+            )
         sp = self.service.obs.tracer.start(
             "blobseer.read",
             cat="blobseer",
@@ -437,16 +453,29 @@ class BlobClient:
 
     def _fetch_fragment(self, frag: Fragment, data_offset: int, size: int) -> bytes:
         """Read a byte range of one stored object, falling back across
-        replicas."""
+        replicas. The starting replica rotates per fetch and providers
+        this client has seen fail are tried last."""
+        n = len(frag.providers)
+        start = next(self._replica_rr) % n if n > 1 else 0
+        order = [frag.providers[(start + i) % n] for i in range(n)]
+        if self._dead_providers:
+            order.sort(key=lambda name: name in self._dead_providers)
         last_exc: Exception | None = None
-        for name in frag.providers:
+        for name in order:
             provider = self.service.providers.get(name)
             if provider is None:
                 continue
             try:
-                return provider.get_page(frag.page_id, data_offset, size)
-            except (ProviderUnavailableError, PageNotFoundError) as exc:
+                data = provider.get_page(frag.page_id, data_offset, size)
+            except ProviderUnavailableError as exc:
+                self._dead_providers.add(name)
                 last_exc = exc
+            except PageNotFoundError as exc:
+                # the provider answered: alive, just missing this page
+                last_exc = exc
+            else:
+                self._dead_providers.discard(name)
+                return data
         raise ReplicationError(
             f"no replica of page {frag.page_id} is readable"
         ) from last_exc

@@ -26,10 +26,17 @@ Clients are generator-based processes; drive them with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from ..common.config import BlobSeerConfig
-from ..common.errors import OutOfRangeReadError
+from ..common.errors import (
+    OutOfRangeReadError,
+    PageNotFoundError,
+    ProviderUnavailableError,
+    ReplicationError,
+)
+from ..common.rng import substream
+from ..faults.plan import RetryPolicy
 from ..obs import NULL_OBS, Observability
 from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
@@ -109,12 +116,91 @@ class SimBlobSeer:
             "vm.metadata_turn_wait_s"
         )
         self._c_md_rpcs = self.obs.registry.counter("md.rpcs")
+        self._c_lease_expiries = self.obs.registry.counter("vm.lease_expiries")
+        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+        # failure model — dormant (zero-cost fast paths) until the first
+        # fault is injected
+        self._down_data: Set[str] = set()
+        self._down_mdp: Set[int] = set()
+        self._faults_on = False
+        self.retry = RetryPolicy.from_cluster(cluster.config)
+        self._read_rng = substream(
+            cluster.config.seed, "blobseer", "replica-rotation"
+        )
 
     # -- blob lifecycle -------------------------------------------------------
 
     def create_blob(self, page_size: Optional[int] = None) -> int:
         """Instant (control-plane) blob creation; returns the blob id."""
         return self.core.create_blob(page_size or self.config.page_size)
+
+    # -- fault injection -------------------------------------------------------
+
+    def fail_provider(self, name: str) -> None:
+        """Crash a data provider: excluded from placement, reads time out.
+
+        Pages whose only replicas live here become unreadable until
+        :meth:`recover_provider` — replication >= 2 is the defense.
+        """
+        if name not in self.roles.data_providers:
+            raise KeyError(f"no data provider {name!r}")
+        self._down_data.add(name)
+        self.provider_manager.mark_down(name)
+        self._faults_on = True
+
+    def recover_provider(self, name: str) -> None:
+        self._down_data.discard(name)
+        self.provider_manager.mark_up(name)
+
+    def fail_metadata_provider(self, index: int) -> None:
+        """Crash metadata provider *index*: its RPCs time out and retry."""
+        if not 0 <= index < len(self._mdp_slots):
+            raise IndexError(f"no metadata provider {index}")
+        self._down_mdp.add(index)
+        self._faults_on = True
+
+    def recover_metadata_provider(self, index: int) -> None:
+        self._down_mdp.discard(index)
+
+    # -- append-ticket leases --------------------------------------------------
+
+    def _arm_lease(self, ticket: Ticket) -> None:
+        """Register the ticket's lease; the clock starts when the version
+        heads the commit queue (time queued behind slow or dead
+        predecessors must not count, or one expiry would cascade through
+        every version stalled behind it). DES events can't be
+        unscheduled — the expiry callback no-ops when the commit won."""
+        if self.config.append_lease_s <= 0:
+            return
+        self.core.when_turn(
+            ticket.blob_id,
+            ticket.version,
+            lambda: self._start_lease(ticket.blob_id, ticket.version),
+        )
+
+    def _start_lease(self, blob_id: int, version: int) -> None:
+        record = self.core.blob(blob_id).versions.get(version)
+        if record is None or record.committed:
+            return
+        self.env.call_at(
+            self.env.now + self.config.append_lease_s,
+            lambda: self._lease_expired(blob_id, version),
+        )
+
+    def _lease_expired(self, blob_id: int, version: int) -> None:
+        record = self.core.blob(blob_id).versions.get(version)
+        if record is None or record.committed:
+            return
+        self._c_lease_expiries.inc()
+        # the lease only ran while this version headed the queue, so its
+        # predecessor has resolved and the abort can go through directly
+        self._abort_now(blob_id, version)
+
+    def _abort_now(self, blob_id: int, version: int) -> None:
+        record = self.core.blob(blob_id).versions.get(version)
+        if record is None or record.committed:
+            return
+        self.core.abort(blob_id, version)
 
     # -- RPC helpers -----------------------------------------------------------
 
@@ -143,12 +229,15 @@ class SimBlobSeer:
             self.cluster.config.version_assign_time,
             fn,
         )
-        if op == "assign_append":
+        if op in ("assign_append", "assign_write"):
 
             def finish(ev: Event) -> None:
                 if ev._ok:
                     sp.finish()
-                    self._h_ticket_wait.observe(self.env.now - t0)
+                    if op == "assign_append":
+                        self._h_ticket_wait.observe(self.env.now - t0)
+                    # register the lease as part of the assignment
+                    self._arm_lease(ev._value)
 
             done.callbacks.append(finish)
         elif self.obs.tracer.enabled:
@@ -169,6 +258,27 @@ class SimBlobSeer:
             done.succeed(None)
             return done
         self._c_md_rpcs.inc(len(records))
+        if self._faults_on and any(
+            rec.owner in self._down_mdp for rec in records
+        ):
+            # down owners go through the timeout/retry path; the rest
+            # batch as usual
+            events: List[Event] = [
+                self.env.process(self._mdp_rpc_retry(rec.owner))
+                for rec in records
+                if rec.owner in self._down_mdp
+            ]
+            alive = [rec for rec in records if rec.owner not in self._down_mdp]
+            if alive:
+                sub = Event(self.env)
+                batch_round_trips(
+                    [self._mdp_slots[rec.owner] for rec in alive],
+                    self.cluster.config.latency,
+                    self.cluster.config.metadata_rpc_time,
+                    sub,
+                )
+                events.append(sub)
+            return self.env.all_of(events)
         slots = self._mdp_slots
         batch_round_trips(
             [slots[rec.owner] for rec in records],
@@ -177,6 +287,24 @@ class SimBlobSeer:
             done,
         )
         return done
+
+    def _mdp_rpc_retry(self, owner: int) -> Generator[Event, None, None]:
+        """One metadata RPC with timeout + capped-backoff retries, for a
+        possibly-crashed owner."""
+        policy = self.retry
+        for attempt in range(policy.max_attempts):
+            if owner in self._down_mdp:
+                self._c_rpc_timeouts.inc()
+                yield self.env.timeout(policy.rpc_timeout)
+                if attempt + 1 < policy.max_attempts:
+                    yield self.env.timeout(policy.backoff(attempt))
+            else:
+                yield self._mdp_rpc(owner)
+                return
+        raise ProviderUnavailableError(
+            f"metadata provider {owner} is down (gave up after "
+            f"{policy.max_attempts} attempts)"
+        )
 
     # -- data-plane helpers --------------------------------------------------------
 
@@ -231,7 +359,15 @@ class SimBlobSeer:
     ) -> Event:
         """Read *nbytes* of one stored object from its primary provider:
         disk (or page-cache) service then network transfer; the returned
-        event fires when the bytes reach the client."""
+        event fires when the bytes reach the client.
+
+        Once any fault has been injected, fetches go through the
+        replica-failover retry path instead.
+        """
+        if self._faults_on:
+            return self.env.process(
+                self._fetch_fragment_retry(client, frag, nbytes)
+            )
         prov = frag.primary
         done = Event(self.env)
 
@@ -248,6 +384,32 @@ class SimBlobSeer:
 
         self.cluster.node(prov).disk.read(nbytes).callbacks.append(off_disk)
         return done
+
+    def _fetch_fragment_retry(
+        self, client: str, frag: Fragment, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Replica failover: rotated starting replica, a charged RPC
+        timeout per down provider, capped backoff between full sweeps."""
+        policy = self.retry
+        providers = frag.providers
+        n = len(providers)
+        start = int(self._read_rng.integers(n)) if n > 1 else 0
+        for attempt in range(policy.max_attempts):
+            prov = providers[(start + attempt) % n]
+            if prov in self._down_data:
+                self._c_rpc_timeouts.inc()
+                yield self.env.timeout(policy.rpc_timeout)
+            else:
+                yield self.cluster.node(prov).disk.read(nbytes)
+                yield self.cluster.network.transfer(prov, client, nbytes)
+                return
+            if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
+                # a full sweep of replicas failed: back off before retrying
+                yield self.env.timeout(policy.backoff(attempt // n))
+        raise ReplicationError(
+            f"no replica of page {frag.page_id} is readable "
+            f"(providers {providers})"
+        )
 
     # -- client operations ------------------------------------------------------------
 
@@ -468,7 +630,11 @@ class SimBlobSeer:
             raise OutOfRangeReadError(
                 f"read [{offset}, {offset + nbytes}) beyond size {rec.size}"
             )
-        assert rec.root is not None
+        if rec.root is None:
+            # aborted version over an empty blob: the range is all hole
+            raise PageNotFoundError(
+                f"blob {blob_id} v{rec.version}: range is an aborted hole"
+            )
         ps = self.core.blob(blob_id).page_size
         first = offset // ps
         last = (offset + nbytes - 1) // ps
@@ -492,6 +658,11 @@ class SimBlobSeer:
             base = p * ps
             lo = max(offset, base) - base
             hi = min(offset + nbytes, base + ps) - base
+            if p not in leaves:
+                # a page inside an aborted append's range: permanent hole
+                raise PageNotFoundError(
+                    f"blob {blob_id} v{rec.version}: page {p} is a hole"
+                )
             for frag in leaves[p]:
                 piece = frag.clip(lo, hi)
                 if piece is None:

@@ -38,7 +38,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..common.config import BlobSeerConfig
 from ..common.errors import (
+    AppendAbortedError,
     BlobNotFoundError,
     VersionNotFoundError,
     VersionNotReadyError,
@@ -68,6 +70,12 @@ class VersionRecord:
     kind: str  # "create" | "write" | "append"
     root: Optional[NodeKey] = None
     committed: bool = False
+    #: the blob size whose page capacity matches ``root``'s tree — equal
+    #: to ``size`` for normal versions, but an *aborted* version inherits
+    #: the previous tree, which may be smaller than its assigned size
+    tree_size: int = 0
+    #: lease expired before commit; published as a zero-length hole
+    aborted: bool = False
 
 
 @dataclass(slots=True)
@@ -106,6 +114,7 @@ class VersionManagerCore:
         self._c_tickets = obs.registry.counter("vm.tickets_assigned")
         self._c_append_tickets = obs.registry.counter("vm.append_tickets")
         self._c_commits = obs.registry.counter("vm.commits")
+        self._c_aborts = obs.registry.counter("vm.aborts")
         self._c_turn_waits = obs.registry.counter("vm.turn_waits")
         self._g_turn_queue = obs.registry.gauge("vm.turn_queue_depth")
         self._h_ticket_bytes = obs.registry.histogram("vm.append_ticket_bytes")
@@ -177,7 +186,7 @@ class VersionManagerCore:
         new_size = max(state.assigned_size, offset + nbytes)
         state.assigned_size = new_size
         state.versions[version] = VersionRecord(
-            version=version, size=new_size, kind=kind
+            version=version, size=new_size, kind=kind, tree_size=new_size
         )
         return Ticket(
             blob_id=state.blob_id,
@@ -205,7 +214,9 @@ class VersionManagerCore:
         prev = state.versions.get(version - 1)
         if prev is None or not prev.committed:
             return None
-        return prev.root, _pages_capacity(prev.size, state.page_size)
+        # capacity must match the tree actually rooted at prev.root: an
+        # aborted predecessor carries an older (possibly smaller) tree
+        return prev.root, _pages_capacity(prev.tree_size, state.page_size)
 
     def when_turn(
         self, blob_id: int, version: int, callback: Callable[[], None]
@@ -227,11 +238,57 @@ class VersionManagerCore:
         record = state.versions.get(version)
         if record is None:
             raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if record.aborted:
+            raise AppendAbortedError(
+                f"blob {blob_id} version {version} was aborted "
+                f"(append-ticket lease expired before commit)"
+            )
         if record.committed:
             raise ValueError(f"version {version} committed twice")
         record.root = root
         record.committed = True
         self._c_commits.inc()
+        self._finish_version(state, blob_id, version)
+
+    def abort(self, blob_id: int, version: int) -> bool:
+        """Publish an uncommitted version as a hole so the frontier moves.
+
+        The aborted version inherits the previous version's tree (its
+        own pages are simply never linked in); if it was the last
+        assigned version its bytes are reclaimed entirely, otherwise the
+        assigned range stays as a permanent zero-length hole.
+
+        Returns ``False`` when the version committed in the meantime
+        (the appender was slow, not dead — a lost race, not an error).
+        Like :meth:`commit`, aborting requires ``version - 1`` to be
+        resolved; sequence cascading aborts through :meth:`when_turn`.
+        """
+        state = self.blob(blob_id)
+        record = state.versions.get(version)
+        if record is None:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if record.committed:
+            return False
+        prev = state.versions.get(version - 1)
+        if prev is None or not prev.committed:
+            raise VersionNotReadyError(
+                f"cannot abort blob {blob_id} v{version} before "
+                f"v{version - 1} resolves"
+            )
+        record.aborted = True
+        record.committed = True
+        record.root = prev.root
+        record.tree_size = prev.tree_size
+        if version == state.next_version - 1 and state.assigned_size == record.size:
+            # nothing was assigned after the dead append: reclaim the hole
+            state.assigned_size = prev.size
+            record.size = prev.size
+        self._c_aborts.inc()
+        self._finish_version(state, blob_id, version)
+        return True
+
+    def _finish_version(self, state: BlobState, blob_id: int, version: int) -> None:
+        """Advance the publish frontier and wake the next metadata turn."""
         # advance the published frontier over consecutive committed versions
         while (nxt := state.versions.get(state.published + 1)) and nxt.committed:
             state.published += 1
@@ -267,19 +324,34 @@ class VersionManagerCore:
 
 
 class ThreadedVersionManager:
-    """Mutex-wrapped VM for the threaded (real-bytes) runtime."""
+    """Mutex-wrapped VM for the threaded (real-bytes) runtime.
 
-    def __init__(self, obs: Optional[Observability] = None) -> None:
+    Every assignment registers a lease; its daemon timer starts once the
+    version heads the commit queue and, if it fires before the commit
+    arrives, the version is aborted — so chains of dead appenders unwind
+    in order, one lease period each, without ever aborting a live
+    appender that was merely queued behind them.
+    """
+
+    def __init__(
+        self,
+        obs: Optional[Observability] = None,
+        config: Optional[BlobSeerConfig] = None,
+    ) -> None:
         self.obs = obs or NULL_OBS
         self.core = VersionManagerCore(self.obs)
         self._lock = threading.Lock()
         self._turn = threading.Condition(self._lock)
+        self._lease_s = config.append_lease_s if config else 30.0
+        self._turn_timeout_s = config.metadata_turn_timeout_s if config else 60.0
+        self._lease_timers: Dict[tuple[int, int], threading.Timer] = {}
         self._h_ticket_wait = self.obs.registry.histogram(
             "vm.append_ticket_wait_s"
         )
         self._h_turn_wait = self.obs.registry.histogram(
             "vm.metadata_turn_wait_s"
         )
+        self._c_lease_expiries = self.obs.registry.counter("vm.lease_expiries")
 
     def create_blob(self, page_size: int) -> int:
         with self._lock:
@@ -289,22 +361,99 @@ class ThreadedVersionManager:
         t0 = time.perf_counter()
         with self._lock:
             ticket = self.core.assign_append(blob_id, nbytes)
+            self._arm_lease_locked(ticket)
         self._h_ticket_wait.observe(time.perf_counter() - t0)
         return ticket
 
     def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
         with self._lock:
-            return self.core.assign_write(blob_id, offset, nbytes)
+            ticket = self.core.assign_write(blob_id, offset, nbytes)
+            self._arm_lease_locked(ticket)
+            return ticket
+
+    # -- lease machinery -------------------------------------------------------
+
+    def _arm_lease_locked(self, ticket: Ticket) -> None:
+        """Register the version's lease at assignment time.
+
+        The lease *clock* only starts once the version reaches the head
+        of the commit queue (its predecessor resolved) — time spent
+        queued behind slow or dead predecessors is not the appender's
+        fault and must not count against it, or one expiry would cascade
+        through every version stalled behind it.
+        """
+        if self._lease_s <= 0:
+            return
+        self.core.when_turn(
+            ticket.blob_id,
+            ticket.version,
+            lambda: self._start_lease_timer_locked(
+                ticket.blob_id, ticket.version
+            ),
+        )
+
+    def _start_lease_timer_locked(self, blob_id: int, version: int) -> None:
+        # fires under the lock: either synchronously inside assign (the
+        # queue head was already free) or inside the predecessor's
+        # commit/abort via the when_turn queue
+        record = self.core.blob(blob_id).versions.get(version)
+        if record is None or record.committed:
+            return
+        key = (blob_id, version)
+        timer = threading.Timer(self._lease_s, self._lease_expired, args=key)
+        timer.daemon = True
+        self._lease_timers[key] = timer
+        timer.start()
+
+    def _lease_expired(self, blob_id: int, version: int) -> None:
+        with self._turn:
+            self._lease_timers.pop((blob_id, version), None)
+            record = self.core.blob(blob_id).versions.get(version)
+            if record is None or record.committed:
+                return
+            self._c_lease_expiries.inc()
+            self._abort_when_possible_locked(blob_id, version)
+            self._turn.notify_all()
+
+    def _abort_when_possible_locked(self, blob_id: int, version: int) -> None:
+        """Abort now, or as soon as the predecessor resolves.
+
+        The deferred callback runs synchronously inside the resolving
+        ``commit``/``abort`` while the lock is already held, so it must
+        call straight into the core.
+        """
+        if self.core.metadata_prereq(blob_id, version) is None:
+            self.core.when_turn(
+                blob_id, version, lambda: self._abort_in_lock(blob_id, version)
+            )
+        else:
+            self._abort_in_lock(blob_id, version)
+
+    def _abort_in_lock(self, blob_id: int, version: int) -> None:
+        record = self.core.blob(blob_id).versions.get(version)
+        if record is None or record.committed:
+            return
+        self.core.abort(blob_id, version)
 
     def wait_metadata_turn(
-        self, blob_id: int, version: int, timeout: float = 60.0
+        self, blob_id: int, version: int, timeout: Optional[float] = None
     ) -> tuple[Optional[NodeKey], int]:
-        """Block until it is *version*'s turn to write metadata."""
+        """Block until it is *version*'s turn to write metadata.
+
+        On timeout the caller's own version is routed through the abort
+        path (immediately or once its turn arrives) so later versions
+        are never wedged behind it, then ``VersionNotReadyError`` is
+        raised.
+        """
+        if timeout is None:
+            timeout = self._turn_timeout_s
         t0 = time.perf_counter()
         with self._turn:
             deadline_info = self.core.metadata_prereq(blob_id, version)
             while deadline_info is None:
                 if not self._turn.wait(timeout=timeout):
+                    self._abort_when_possible_locked(blob_id, version)
+                    self._turn.notify_all()
                     raise VersionNotReadyError(
                         f"timed out waiting for metadata turn of "
                         f"blob {blob_id} v{version}"
@@ -314,9 +463,15 @@ class ThreadedVersionManager:
         return deadline_info
 
     def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
-        with self._turn:
-            self.core.commit(blob_id, version, root)
-            self._turn.notify_all()
+        timer: Optional[threading.Timer] = None
+        try:
+            with self._turn:
+                timer = self._lease_timers.pop((blob_id, version), None)
+                self.core.commit(blob_id, version, root)
+                self._turn.notify_all()
+        finally:
+            if timer is not None:
+                timer.cancel()
 
     def latest_published(self, blob_id: int) -> VersionRecord:
         with self._lock:

@@ -30,6 +30,16 @@ class BlobSeerConfig:
     cache_enabled: bool = True
     #: degree of parallelism when a client stripes one operation's pages
     client_parallelism: int = 16
+    #: append-ticket lease: an assigned-but-uncommitted version is
+    #: aborted (published as a hole) once it has sat at the *head* of
+    #: the commit queue for this many seconds, so a dead appender cannot
+    #: wedge the publish frontier. 0 disables leases. Must exceed the
+    #: worst-case head-to-commit time (page transport may still be in
+    #: flight when the turn arrives) — there is no renewal.
+    append_lease_s: float = 30.0
+    #: how long a threaded client waits for its metadata turn before
+    #: aborting its own version and giving up
+    metadata_turn_timeout_s: float = 60.0
 
     def validate(self) -> None:
         if self.page_size <= 0:
@@ -42,6 +52,10 @@ class BlobSeerConfig:
             raise ValueError("cache_blocks must be >= 1")
         if self.client_parallelism < 1:
             raise ValueError("client_parallelism must be >= 1")
+        if self.append_lease_s < 0:
+            raise ValueError("append_lease_s must be non-negative")
+        if self.metadata_turn_timeout_s <= 0:
+            raise ValueError("metadata_turn_timeout_s must be positive")
 
 
 @dataclass(slots=True)
@@ -125,6 +139,15 @@ class ClusterConfig:
     #: max-min rate allocator: "incremental" (component-scoped refills,
     #: the fast default) or "reference" (full recompute per flow event)
     allocator: str = "incremental"
+    #: per-RPC timeout a simulated client charges when it addresses a
+    #: crashed provider/datanode/metadata provider, seconds
+    rpc_timeout: float = 0.5
+    #: first capped-exponential backoff delay between retry sweeps, seconds
+    rpc_retry_base: float = 0.05
+    #: backoff ceiling, seconds
+    rpc_retry_cap: float = 2.0
+    #: RPC attempts (across replicas/sweeps) before the operation fails
+    rpc_max_attempts: int = 6
     #: experiment seed
     seed: int = 20100621  # HPDC'10 workshop date
 
@@ -146,6 +169,12 @@ class ClusterConfig:
             raise ValueError("flow_rate_cap must be non-negative")
         if self.latency < 0:
             raise ValueError("latency must be non-negative")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if self.rpc_retry_base <= 0 or self.rpc_retry_cap < self.rpc_retry_base:
+            raise ValueError("need 0 < rpc_retry_base <= rpc_retry_cap")
+        if self.rpc_max_attempts < 1:
+            raise ValueError("rpc_max_attempts must be >= 1")
 
 
 @dataclass(slots=True)

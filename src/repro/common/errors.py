@@ -61,6 +61,15 @@ class VersionNotReadyError(BlobError):
     """The version exists but has not yet been published (still pending)."""
 
 
+class AppendAbortedError(BlobError):
+    """The version's append ticket expired and the version was aborted.
+
+    Raised when a client tries to commit a version whose lease lapsed:
+    the version manager has already published it as a zero-length hole
+    so later appenders could make progress.
+    """
+
+
 # --------------------------------------------------------------------------
 # namespace / file-system layer
 # --------------------------------------------------------------------------

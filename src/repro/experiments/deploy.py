@@ -98,7 +98,7 @@ def deploy_hdfs(
         obs.tracer.use_clock(lambda: cluster.env.now)
     names = cluster.names()
     roles = HDFSRoles(namenode=names[0], datanodes=tuple(names[1:]))
-    hdfs = SimHDFS(cluster, roles, config.hdfs)
+    hdfs = SimHDFS(cluster, roles, config.hdfs, obs=obs)
     return HDFSDeployment(
         cluster=cluster, hdfs=hdfs, client_nodes=list(roles.datanodes)
     )

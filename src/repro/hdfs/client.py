@@ -14,8 +14,9 @@ Reproduces the client-side behaviours the paper calls out:
 
 from __future__ import annotations
 
+import itertools
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.config import HDFSConfig
 from ..common.errors import (
@@ -33,6 +34,7 @@ from ..common.fs import (
     OutputStream,
     normalize_path,
 )
+from ..common.rng import substream
 from .block import BlockId, BlockInfo
 from .datanode import DataNode
 from .namenode import INodeFile, NameNode
@@ -49,6 +51,7 @@ class HDFSCluster:
     ) -> None:
         self.config = config or HDFSConfig()
         self.config.validate()
+        self.seed = seed
         names = [f"datanode-{i:03d}" for i in range(n_datanodes)]
         self.datanodes: Dict[str, DataNode] = {n: DataNode(n) for n in names}
         self.namenode = NameNode(names, config=self.config, seed=seed)
@@ -139,18 +142,42 @@ class HDFSFileSystem(FileSystem):
         nn.commit_block(path, self.client_name, block_id, len(data), tuple(stored))
 
     def _read_block_range(
-        self, block: BlockInfo, offset: int, size: int
+        self,
+        block: BlockInfo,
+        offset: int,
+        size: int,
+        dead: Optional[Set[str]] = None,
+        start: int = 0,
     ) -> bytes:
-        """Read a range of one chunk, falling back across replicas."""
+        """Read a range of one chunk, falling back across replicas.
+
+        *start* rotates the replica tried first (so readers spread over
+        replicas instead of hammering placement order); datanodes in
+        *dead* are tried last and the set is updated in place, giving the
+        owning stream a dead-replica memory for its lifetime.
+        """
+        n = len(block.datanodes)
+        order = [block.datanodes[(start + i) % n] for i in range(n)]
+        if dead:
+            order.sort(key=lambda name: name in dead)
         last_exc: Exception | None = None
-        for name in block.datanodes:
+        for name in order:
             node = self.cluster.datanodes.get(name)
             if node is None:
                 continue
             try:
-                return node.get_block(block.block_id, offset, size)
-            except (ProviderUnavailableError, PageNotFoundError) as exc:
+                data = node.get_block(block.block_id, offset, size)
+            except ProviderUnavailableError as exc:
+                if dead is not None:
+                    dead.add(name)
                 last_exc = exc
+            except PageNotFoundError as exc:
+                # the datanode answered: alive, just missing the chunk
+                last_exc = exc
+            else:
+                if dead is not None:
+                    dead.discard(name)
+                return data
         raise ReplicationError(
             f"no replica of chunk {block.block_id} is readable"
         ) from last_exc
@@ -235,6 +262,16 @@ class HDFSInputStream(InputStream):
         self._cached: Optional[Tuple[int, bytes]] = None
         #: lifetime counter of datanode fetches (readahead effectiveness)
         self.fetches = 0
+        # replica rotation: seeded per-stream phase, stepped per fetch
+        self._replica_rr = itertools.count(
+            int(
+                substream(
+                    fs.cluster.seed, "hdfs-read", fs.client_name, path
+                ).integers(1 << 30)
+            )
+        )
+        #: datanodes seen failing, remembered for this stream's lifetime
+        self._dead: Set[str] = set()
 
     # -- positioning -----------------------------------------------------------------
 
@@ -305,12 +342,17 @@ class HDFSInputStream(InputStream):
             return self._cached[1][offset : offset + size]
         if self.fs.cluster.config.readahead:
             # prefetch the entire chunk containing the requested range
-            chunk = self.fs._read_block_range(block, 0, block.length)
+            chunk = self.fs._read_block_range(
+                block, 0, block.length,
+                dead=self._dead, start=next(self._replica_rr),
+            )
             self.fetches += 1
             self._cached = (index, chunk)
             return chunk[offset : offset + size]
         self.fetches += 1
-        return self.fs._read_block_range(block, offset, size)
+        return self.fs._read_block_range(
+            block, offset, size, dead=self._dead, start=next(self._replica_rr)
+        )
 
     def close(self) -> None:
         with self._lock:

@@ -11,9 +11,13 @@ contend under identical physics in head-to-head experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional, Sequence, Set, Tuple
 
 from ..common.config import HDFSConfig
+from ..common.errors import ReplicationError
+from ..common.rng import substream
+from ..faults.plan import RetryPolicy
+from ..obs import NULL_OBS, Observability
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
@@ -42,17 +46,40 @@ class SimHDFS:
         cluster: SimCluster,
         roles: HDFSRoles,
         config: Optional[HDFSConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.roles = roles
         self.config = config or HDFSConfig()
         self.config.validate()
+        self.obs = obs or NULL_OBS
         self.namenode = NameNode(
             list(roles.datanodes), config=self.config, seed=cluster.config.seed
         )
         self._nn_slot = Resource(self.env, capacity=1)
         self.metrics = Metrics()
+        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+        # fault-injection state: crashed datanodes, and a flag that keeps
+        # the fault-free fast paths branch-free until the first injection
+        self._down: Set[str] = set()
+        self._faults_on = False
+        self.retry = RetryPolicy.from_cluster(cluster.config)
+        self._read_rng = substream(cluster.config.seed, "hdfs", "replica-rotation")
+
+    # -- fault injection -----------------------------------------------------------
+
+    def fail_datanode(self, name: str) -> None:
+        """Crash a datanode: excluded from placement, reads must fail over."""
+        if name not in self.roles.datanodes:
+            raise ValueError(f"unknown datanode {name!r}")
+        self._down.add(name)
+        self.namenode.mark_down(name)
+        self._faults_on = True
+
+    def recover_datanode(self, name: str) -> None:
+        self._down.discard(name)
+        self.namenode.mark_up(name)
 
     # -- namenode RPC ------------------------------------------------------------
 
@@ -86,6 +113,24 @@ class SimHDFS:
             block_id, targets = yield self._nn_call(
                 lambda: self.namenode.allocate_block(path, client)
             )
+            if self._faults_on:
+                # targets may have crashed between allocation and shipping;
+                # drop them, and re-allocate (with backoff) if none survive.
+                # Abandoned allocations are harmless: block ids are derived
+                # from the committed block count, not reserved state.
+                sweep = 0
+                while not (alive := tuple(t for t in targets if t not in self._down)):
+                    if sweep >= self.retry.max_attempts:
+                        raise ReplicationError(
+                            f"chunk of {path} could not be placed: "
+                            "all allocated datanodes are down"
+                        )
+                    yield self.env.timeout(self.retry.backoff(sweep))
+                    sweep += 1
+                    block_id, targets = yield self._nn_call(
+                        lambda: self.namenode.allocate_block(path, client)
+                    )
+                targets = alive
             # replication fan-out: all replicas start at the same instant,
             # so batch them into one coalesced reallocation
             transfers = self.cluster.network.transfer_many(
@@ -120,7 +165,14 @@ class SimHDFS:
             hi = min(offset + nbytes, loc.offset + loc.length)
             if hi <= lo:
                 continue
-            fetchers.append(self._fetch(client, loc.hosts[0], hi - lo))
+            if self._faults_on:
+                fetchers.append(
+                    self.env.process(
+                        self._fetch_retry(client, loc.hosts, hi - lo)
+                    )
+                )
+            else:
+                fetchers.append(self._fetch(client, loc.hosts[0], hi - lo))
         yield self.env.all_of(fetchers)
         self.metrics.record(client, "read", start, self.env.now, nbytes)
 
@@ -142,6 +194,31 @@ class SimHDFS:
 
         self.cluster.node(datanode).disk.read(nbytes).callbacks.append(off_disk)
         return done
+
+    def _fetch_retry(
+        self, client: str, hosts: Sequence[str], nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Fault-aware fetch: rotate over the chunk's replicas, charging a
+        timeout per attempt on a crashed datanode and backing off between
+        full sweeps."""
+        policy = self.retry
+        hosts = list(hosts)
+        n = len(hosts)
+        start = int(self._read_rng.integers(n)) if n > 1 else 0
+        for attempt in range(policy.max_attempts):
+            dn = hosts[(start + attempt) % n]
+            if dn in self._down:
+                self._c_rpc_timeouts.inc()
+                yield self.env.timeout(policy.rpc_timeout)
+            else:
+                yield self.cluster.node(dn).disk.read(nbytes)
+                yield self.cluster.network.transfer(dn, client, nbytes)
+                return
+            if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
+                yield self.env.timeout(policy.backoff(attempt // n))
+        raise ReplicationError(
+            f"no replica of the chunk is reachable from {client}"
+        )
 
     # -- experiment plumbing -------------------------------------------------------------
 

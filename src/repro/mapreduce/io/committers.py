@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import List
+from typing import Dict, List, Tuple
 
+from ...common.errors import FileClosedError
 from ...common.fs import FileSystem, OutputStream, join_path
 
 
@@ -103,6 +104,68 @@ class SeparateFileCommitter(OutputCommitter):
         )
 
 
+class _BufferedTaskOutput(OutputStream):
+    """Buffer-until-close wrapper enforcing attempt atomicity.
+
+    An underlying append stream may ship full pages mid-stream (the BSFS
+    write-behind buffer holds only up to ``page_size``), which would let
+    a failed attempt leak a prefix into the shared file. This wrapper
+    holds the attempt's *entire* output and only opens the append stream
+    at close, so an attempt contributes either everything or nothing.
+    """
+
+    def __init__(self, committer: "SharedAppendCommitter", key: Tuple[int, int]):
+        self._committer = committer
+        self._key = key
+        self._chunks: List[bytes] = []
+        self._written = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def write(self, data: bytes) -> int:
+        with self._lock:
+            if self._closed:
+                raise FileClosedError(
+                    f"attempt {self._key} output already closed"
+                )
+            self._chunks.append(bytes(data))
+            self._written += len(data)
+            return len(data)
+
+    def flush(self) -> None:
+        # intentionally a no-op: emitting bytes before close would break
+        # the abort-containment invariant this wrapper exists to enforce
+        if self._closed:
+            raise FileClosedError(f"attempt {self._key} output already closed")
+
+    def tell(self) -> int:
+        with self._lock:
+            return self._written
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            data = b"".join(self._chunks)
+            self._chunks.clear()
+        if data:
+            stream = self._committer.fs.append(self._committer.shared_path())
+            try:
+                stream.write(data)
+            finally:
+                stream.close()
+
+    def discard(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._chunks.clear()
+
+
 class SharedAppendCommitter(OutputCommitter):
     """Modified Hadoop: all reducers append to one shared output file.
 
@@ -112,10 +175,10 @@ class SharedAppendCommitter(OutputCommitter):
     the simplification the paper highlights ("at the end of the
     computation data is already available in a single logical file").
 
-    Failure containment: a reducer buffers its whole output client-side
-    (the BSFS write-behind cache) and only the stream's flush/close emits
-    appends; :meth:`abort_task` before that point discards the buffer, so
-    a failed attempt contributes nothing to the shared file.
+    Failure containment: each attempt's stream buffers its whole output
+    and emits one atomic append at close (:class:`_BufferedTaskOutput`);
+    :meth:`abort_task` before that point discards the buffer, so a failed
+    or re-tried attempt contributes nothing until it closes successfully.
     """
 
     SHARED_NAME = "part-shared"
@@ -123,6 +186,7 @@ class SharedAppendCommitter(OutputCommitter):
     def __init__(self, fs: FileSystem, output_dir: str) -> None:
         super().__init__(fs, output_dir)
         self._lock = threading.Lock()
+        self._open: Dict[Tuple[int, int], _BufferedTaskOutput] = {}
 
     def setup_job(self) -> None:
         self.fs.mkdirs(self.output_dir)
@@ -134,14 +198,29 @@ class SharedAppendCommitter(OutputCommitter):
         return join_path(self.output_dir, self.SHARED_NAME)
 
     def open_task_output(self, partition: int, attempt: int) -> OutputStream:
-        return self.fs.append(self.shared_path())
+        # surface missing append support at open time, not at close
+        # (HDFS raises AppendNotSupportedError here — the paper's point)
+        self.fs.append(self.shared_path()).discard()
+        stream = _BufferedTaskOutput(self, (partition, attempt))
+        with self._lock:
+            self._open[(partition, attempt)] = stream
+        return stream
 
     def commit_task(self, partition: int, attempt: int) -> str:
+        with self._lock:
+            stream = self._open.pop((partition, attempt), None)
+        if stream is not None and not stream.closed:
+            raise ValueError(
+                f"commit of attempt ({partition}, {attempt}) before its "
+                f"output stream was closed"
+            )
         return self.shared_path()
 
     def abort_task(self, partition: int, attempt: int) -> None:
-        # nothing was appended: output streams buffer until close
-        return
+        with self._lock:
+            stream = self._open.pop((partition, attempt), None)
+        if stream is not None:
+            stream.discard()
 
     def cleanup_job(self) -> None:
         return

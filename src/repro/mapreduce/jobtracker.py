@@ -133,9 +133,9 @@ class JobInProgress:
 
     def map_failed(self, task: MapTaskInfo, error: Exception) -> None:
         """Re-queue the attempt or fail the job when retries are exhausted."""
-        self.map_outputs.discard_map(task.task_id)
         self._c_map_failures.inc()
         with self._lock:
+            self.map_outputs.discard_map(task.task_id)
             if task.attempts >= self.config.max_task_attempts:
                 task.state = TaskState.FAILED
                 self._failed = (
@@ -166,7 +166,8 @@ class JobInProgress:
 
     def finish(self) -> List[str]:
         """Cleanup and return output files; raises on a failed job."""
-        if self._failed:
-            raise JobFailedError(f"job {self.conf.name!r}: {self._failed}")
-        self.committer.cleanup_job()
-        return self.committer.output_files()
+        with self._lock:
+            if self._failed:
+                raise JobFailedError(f"job {self.conf.name!r}: {self._failed}")
+            self.committer.cleanup_job()
+            return self.committer.output_files()

@@ -13,6 +13,7 @@ import threading
 import time
 from typing import Optional
 
+from ..common.errors import TaskFailedError
 from ..common.fs import FileSystem
 from .io.input import make_record_reader
 from .io.records import TextRecordWriter
@@ -105,9 +106,29 @@ class TaskTracker:
         self.fs = fs
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
+        self._crashed = threading.Event()
         #: lifetime counters
         self.maps_run = 0
         self.reduces_run = 0
+
+    # -- fault injection -------------------------------------------------------
+
+    @property
+    def is_failed(self) -> bool:
+        return self._crashed.is_set()
+
+    def fail(self) -> None:
+        """Fault injection: crash this tracker. Its workers stop claiming
+        tasks; a task claimed but not yet finished is reported failed so
+        the jobtracker re-queues it on surviving trackers. Tasks that
+        already completed stay completed (map outputs live in the shared
+        store, not on the tracker)."""
+        self._crashed.set()
+
+    def recover(self) -> None:
+        """Bring the tracker back: workers spawned after this point run
+        normally (workers that already exited are not restarted)."""
+        self._crashed.clear()
 
     def run_job(self, jip: JobInProgress) -> list[threading.Thread]:
         """Spawn this tracker's worker threads for one job; returns them
@@ -135,12 +156,20 @@ class TaskTracker:
 
     def _map_worker(self, jip: JobInProgress) -> None:
         while not jip.is_complete:
+            if self.is_failed:
+                return
             task = jip.next_map_task(self.host)
             if task is None:
                 if jip.maps_done:
                     return
                 time.sleep(_POLL_INTERVAL)
                 continue
+            if self.is_failed:
+                # crashed between claiming and executing: hand the task back
+                jip.map_failed(
+                    task, TaskFailedError(f"tasktracker {self.host} crashed")
+                )
+                return
             try:
                 with jip.obs.tracer.span(
                     "mr.map_task",
@@ -159,10 +188,17 @@ class TaskTracker:
 
     def _reduce_worker(self, jip: JobInProgress) -> None:
         while not jip.is_complete:
+            if self.is_failed:
+                return
             task = jip.next_reduce_task(self.host)
             if task is None:
                 time.sleep(_POLL_INTERVAL)
                 continue
+            if self.is_failed:
+                jip.reduce_failed(
+                    task, TaskFailedError(f"tasktracker {self.host} crashed")
+                )
+                return
             try:
                 with jip.obs.tracer.span(
                     "mr.reduce_task",

@@ -259,3 +259,61 @@ def test_sequential_appends_equal_one_big_write(pieces):
         c.append(blob, piece)
         expected += piece
     assert c.read(blob, 0, len(expected)) == bytes(expected)
+
+
+class TestReplicaRotation:
+    """Reads rotate their starting replica (seeded) instead of hammering
+    placement order, and remember dead providers per stream lifetime."""
+
+    def _everywhere_svc(self):
+        return BlobSeerService(
+            BlobSeerConfig(page_size=1024, metadata_providers=2, replication=4),
+            n_providers=4,
+            seed=11,
+        )
+
+    def test_reads_spread_over_replicas(self):
+        svc = self._everywhere_svc()
+        c = svc.client("c")
+        blob = c.create_blob()
+        c.append(blob, b"z" * 1024)
+        for _ in range(16):
+            c.read(blob, 0, 1024)
+        served = [
+            p.bytes_served for p in svc.providers.values() if p.bytes_served
+        ]
+        # without rotation one provider would absorb every read
+        assert len(served) > 1
+
+    def test_rotation_phase_is_deterministic_per_client_name(self):
+        hits_by_run = []
+        for _run in range(2):
+            svc = self._everywhere_svc()
+            c = svc.client("same-name")
+            blob = c.create_blob()
+            c.append(blob, b"z" * 1024)
+            c.read(blob, 0, 1024)
+            hits_by_run.append(
+                sorted(n for n, p in svc.providers.items() if p.bytes_served)
+            )
+        assert hits_by_run[0] == hits_by_run[1]
+
+    def test_dead_providers_remembered_until_they_serve_again(self):
+        svc = self._everywhere_svc()
+        c = svc.client("c")
+        blob = c.create_blob()
+        c.append(blob, b"z" * 1024)
+        dead = "provider-002"
+        svc.fail_provider(dead)
+        for _ in range(8):  # enough reads that rotation would hit it
+            c.read(blob, 0, 1024)
+        assert dead in c._dead_providers
+        # dead providers sort last, so recovery alone is not enough to be
+        # re-probed — only when every other replica fails does the read
+        # reach it, and a successful reply clears the grudge
+        svc.recover_provider(dead)
+        for name in svc.providers:
+            if name != dead:
+                svc.fail_provider(name)
+        assert c.read(blob, 0, 1024) == b"z" * 1024
+        assert dead not in c._dead_providers

@@ -1,6 +1,7 @@
 """Unit tests for the version manager (core state machine + threaded wrapper)."""
 
 import threading
+import time
 
 import pytest
 
@@ -9,7 +10,9 @@ from repro.blobseer.version_manager import (
     ThreadedVersionManager,
     VersionManagerCore,
 )
+from repro.common.config import BlobSeerConfig
 from repro.common.errors import (
+    AppendAbortedError,
     BlobNotFoundError,
     VersionNotFoundError,
     VersionNotReadyError,
@@ -168,3 +171,167 @@ class TestThreadedWrapper:
         vm.assign_append(blob, 10)
         with pytest.raises(VersionNotReadyError):
             vm.wait_metadata_turn(blob, 2, timeout=0.05)
+
+
+class TestCoreAbort:
+    def _two_assigned(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.assign_append(blob, 10)
+        return core, blob
+
+    def test_abort_publishes_hole_and_advances_frontier(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)  # v1 commits
+        core.assign_append(blob, 10)  # v2 dies
+        core.assign_append(blob, 10)  # v3 commits
+        core.commit(blob, 1, root_key(1))
+        assert core.abort(blob, 2) is True
+        rec = core.get_version(blob, 2)
+        assert rec.aborted and rec.root == root_key(1)
+        # v3 builds on the aborted version's *inherited* tree
+        assert core.metadata_prereq(blob, 3) == (root_key(1), 1)
+        core.commit(blob, 3, root_key(3))
+        assert core.latest_published(blob).version == 3
+
+    def test_abort_of_last_assigned_reclaims_the_hole(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.commit(blob, 1, root_key(1))
+        core.assign_append(blob, 30)
+        core.abort(blob, 2)
+        assert core.get_version(blob, 2).size == 10
+        # the next append lands where v1 ended, not after the hole
+        assert core.assign_append(blob, 5).offset == 10
+
+    def test_abort_mid_chain_leaves_a_permanent_hole(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        core.assign_append(blob, 10)
+        core.commit(blob, 1, root_key(1))
+        core.assign_append(blob, 30)  # v2 dies
+        core.assign_append(blob, 10)  # v3 already assigned after it
+        core.abort(blob, 2)
+        assert core.get_version(blob, 2).size == 40  # no reclaim
+        assert core.assign_append(blob, 5).offset == 50
+
+    def test_commit_after_abort_raises(self):
+        core, blob = self._two_assigned()
+        core.commit(blob, 1, root_key(1))
+        core.abort(blob, 2)
+        with pytest.raises(AppendAbortedError):
+            core.commit(blob, 2, root_key(2))
+
+    def test_abort_of_committed_version_is_a_lost_race(self):
+        core, blob = self._two_assigned()
+        core.commit(blob, 1, root_key(1))
+        assert core.abort(blob, 1) is False
+        assert not core.get_version(blob, 1).aborted
+
+    def test_abort_requires_resolved_predecessor(self):
+        core, blob = self._two_assigned()
+        with pytest.raises(VersionNotReadyError):
+            core.abort(blob, 2)
+
+    def test_cascading_aborts_unwind_in_order(self):
+        core = VersionManagerCore()
+        blob = core.create_blob(64)
+        for _ in range(3):
+            core.assign_append(blob, 10)
+        # v2's abort must wait for v1 (the when_turn queue), as the
+        # runtime adapters do for chains of dead appenders
+        core.when_turn(blob, 2, lambda: core.abort(blob, 2))
+        core.abort(blob, 1)
+        assert core.latest_published(blob).version == 2
+        assert core.metadata_prereq(blob, 3) == (None, 0)
+
+
+class TestAppendLeases:
+    def _wait_published(self, vm, blob, version, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if vm.latest_published(blob).version >= version:
+                return
+            time.sleep(0.005)
+        raise AssertionError(f"version {version} never published")
+
+    def test_lease_expiry_aborts_a_dead_appender(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=0.05)
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)  # never committed
+        self._wait_published(vm, blob, 1)
+        assert vm.latest_published(blob).aborted
+
+    def test_commit_wins_over_the_lease(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=0.1)
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)
+        vm.commit(blob, 1, root_key(1))
+        time.sleep(0.25)
+        rec = vm.latest_published(blob)
+        assert rec.version == 1 and not rec.aborted
+
+    def test_lease_clock_starts_at_the_queue_head(self):
+        # v2 is alive but spends longer than one whole lease queued
+        # behind a dead v1; it must NOT expire — the clock only runs
+        # while a version heads the commit queue, or one dead appender
+        # would cascade aborts through everyone stalled behind it
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=0.3)
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)  # v1 dies; its lease aborts it at ~0.3
+        vm.assign_append(blob, 10)  # v2 is queued for all of that
+        time.sleep(0.45)  # > lease counted from v2's *assignment*
+        vm.commit(blob, 2, root_key(2))  # well inside v2's head lease
+        rec = vm.latest_published(blob)
+        assert rec.version == 2 and not rec.aborted
+        assert vm.get_version(blob, 1).aborted
+
+    def test_chain_of_dead_appenders_unwinds(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=0.05)
+        )
+        blob = vm.create_blob(64)
+        for _ in range(3):
+            vm.assign_append(blob, 10)  # all three die
+        self._wait_published(vm, blob, 3, timeout=10)
+        assert all(
+            vm.get_version(blob, v).aborted for v in (1, 2, 3)
+        )
+
+    def test_wait_turn_timeout_routes_through_abort(self):
+        # satellite (c): the timed-out waiter aborts its own version so
+        # later versions are never wedged behind it
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=0)  # isolate the timeout path
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)  # v1: slow
+        vm.assign_append(blob, 10)  # v2: times out waiting for v1
+        vm.assign_append(blob, 10)  # v3: must not be wedged behind v2
+        with pytest.raises(VersionNotReadyError):
+            vm.wait_metadata_turn(blob, 2, timeout=0.05)
+        vm.commit(blob, 1, root_key(1))
+        # v2 aborted itself when v1 resolved; v3's turn is immediately up
+        assert vm.get_version(blob, 2).aborted
+        assert vm.wait_metadata_turn(blob, 3, timeout=1)[0] == root_key(1)
+
+    def test_turn_timeout_default_comes_from_config(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(
+                append_lease_s=0, metadata_turn_timeout_s=0.05
+            )
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)
+        vm.assign_append(blob, 10)
+        with pytest.raises(VersionNotReadyError):
+            vm.wait_metadata_turn(blob, 2)  # no explicit timeout

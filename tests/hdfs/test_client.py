@@ -133,3 +133,44 @@ class TestCommitByRename:
         fs.delete("/out/_temporary", recursive=True)
         names = [s.path for s in fs.list_dir("/out")]
         assert names == ["/out/part-00000"]
+
+
+class TestReplicaRotation:
+    """Streams rotate their starting replica (seeded per stream) and
+    remember dead datanodes for their lifetime."""
+
+    def _everywhere_cluster(self):
+        return HDFSCluster(
+            n_datanodes=4,
+            config=HDFSConfig(chunk_size=1024, replication=4),
+            seed=9,
+        )
+
+    def test_reads_spread_over_replicas(self):
+        cluster = self._everywhere_cluster()
+        fs = cluster.file_system("c0")
+        fs.write_all("/f", b"z" * 4096)  # 4 chunks, each on all 4 datanodes
+        with fs.open("/f") as stream:
+            stream.read(4096)
+        served = [
+            d.bytes_served for d in cluster.datanodes.values() if d.bytes_served
+        ]
+        # the rotation phase steps per chunk fetch, so a single stream
+        # spreads consecutive chunks over replicas; without rotation the
+        # placement-order primary would absorb every read
+        assert len(served) > 1
+
+    def test_dead_datanodes_tried_last_for_the_stream(self):
+        cluster = self._everywhere_cluster()
+        fs = cluster.file_system("c0")
+        fs.write_all("/f", b"z" * 4096)  # 4 chunks
+        dead = "datanode-001"
+        cluster.datanodes[dead].fail()  # crash without telling the namenode
+        stream = fs.open("/f")
+        assert stream.read(4096) == b"z" * 4096
+        assert dead in stream._dead
+        served_before = cluster.datanodes[dead].bytes_served
+        stream.seek(0)
+        assert stream.read(4096) == b"z" * 4096
+        # the dead node is sorted last, so it is never probed again
+        assert cluster.datanodes[dead].bytes_served == served_before

@@ -137,3 +137,78 @@ def test_make_committer_dispatch(hdfs_fs):
     assert isinstance(make_committer("shared", hdfs_fs, "/o"), SharedAppendCommitter)
     with pytest.raises(ValueError):
         make_committer("mystery", hdfs_fs, "/o")
+
+
+class TestSharedCommitterUnderFailures:
+    """Failed and retried reduce attempts must never leave partial bytes
+    in the shared file: an attempt's output is buffered until close and
+    lands as exactly one atomic append."""
+
+    def test_abort_contributes_nothing_even_past_page_size(self, bsfs_fs):
+        # more than one page (page_size=1024) of doomed output: without
+        # buffer-until-close, full pages would already have shipped
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.write(b"d" * 5000)
+        out.flush()  # a no-op by the invariant, never a partial append
+        out.discard()
+        c.abort_task(0, 1)
+        assert bsfs_fs.get_status("/out/part-shared").size == 0
+
+    def test_failed_then_retried_attempt_appends_once(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, attempt=1)
+        out.write(b"attempt-1 partial " * 100)
+        out.discard()
+        c.abort_task(0, attempt=1)
+        with c.open_task_output(0, attempt=2) as out:
+            out.write(b"attempt-2 final")
+        c.commit_task(0, attempt=2)
+        assert bsfs_fs.read_all("/out/part-shared") == b"attempt-2 final"
+
+    def test_interleaved_attempts_stay_atomic(self, bsfs_fs):
+        # a zombie first attempt still writing while the retry commits
+        # must not interleave bytes into the shared file
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        zombie = c.open_task_output(0, attempt=1)
+        zombie.write(b"Z" * 3000)
+        with c.open_task_output(0, attempt=2) as out:
+            out.write(b"ok" * 1000)
+        c.commit_task(0, attempt=2)
+        zombie.write(b"Z" * 3000)  # still open, still buffering
+        zombie.discard()
+        c.abort_task(0, attempt=1)
+        data = bsfs_fs.read_all("/out/part-shared")
+        assert data == b"ok" * 1000
+
+    def test_commit_before_close_is_an_error(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.write(b"x")
+        with pytest.raises(ValueError):
+            c.commit_task(0, 1)
+        out.close()
+        c.commit_task(0, 1)
+
+    def test_write_after_close_rejected(self, bsfs_fs):
+        from repro.common.errors import FileClosedError
+
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.write(b"x")
+        out.close()
+        with pytest.raises(FileClosedError):
+            out.write(b"y")
+
+    def test_empty_attempt_appends_nothing(self, bsfs_fs):
+        c = SharedAppendCommitter(bsfs_fs, "/out")
+        c.setup_job()
+        out = c.open_task_output(0, 1)
+        out.close()
+        c.commit_task(0, 1)
+        assert bsfs_fs.get_status("/out/part-shared").size == 0

@@ -222,3 +222,63 @@ class TestEmptyInput:
         )
         assert result.n_map_tasks == 0
         assert result.output_file_count == 2  # empty part files still commit
+
+
+class TestTaskTrackerCrash:
+    def _job(self, name):
+        return JobConf(
+            name=name, input_paths=["/in"], output_dir="/out",
+            map_fn=wc_map, reduce_fn=wc_reduce,
+        )
+
+    def test_job_completes_around_a_dead_tracker(self):
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"hello world\n" * 200)
+        dead = cluster.tasktrackers[0]
+        dead.fail()
+        result = cluster.run_job(self._job("dead-tracker"))
+        assert result.output_file_count >= 1
+        # the crashed tracker never claimed a task; the others did the work
+        assert dead.maps_run == 0 and dead.reduces_run == 0
+        assert sum(t.maps_run for t in cluster.tasktrackers) >= 1
+
+    def test_mid_run_crash_requeues_claimed_tasks(self):
+        from repro.faults import (
+            FaultPlan,
+            ThreadedFaultDriver,
+            threaded_storage_injector,
+        )
+
+        _dep, fs, cluster = make_env()
+        fs.write_all("/in", b"hello world\n" * 500)
+        victim = cluster.tasktrackers[0]
+        injector = threaded_storage_injector(
+            tasktrackers=cluster.tasktrackers
+        )
+        plan = FaultPlan().crash("tasktracker", victim.host, at=0.005)
+        driver = ThreadedFaultDriver(plan, injector).start()
+        try:
+            result = cluster.run_job(self._job("mid-run-crash"))
+        finally:
+            driver.stop()
+            driver.join(timeout=5)
+        assert victim.is_failed
+        # tasks the victim had claimed were re-queued on the survivors,
+        # so the job still produced complete, correct output
+        words = {}
+        for path in result.output_files:
+            for line in fs.read_all(path).decode().splitlines():
+                k, v = line.rsplit("\t", 1)
+                words[k] = int(v)
+        assert words == {"hello": 500, "world": 500}
+
+    def test_recovered_tracker_works_for_the_next_job(self):
+        _dep, fs, cluster = make_env(n_providers=2)
+        fs.write_all("/in", b"a b\n" * 50)
+        for t in cluster.tasktrackers[1:]:
+            t.fail()
+        cluster.tasktrackers[0].fail()
+        cluster.tasktrackers[0].recover()
+        result = cluster.run_job(self._job("recovered"))
+        assert result.output_file_count >= 1
+        assert cluster.tasktrackers[0].maps_run >= 1
