@@ -1,52 +1,28 @@
-"""Threaded (real-bytes) BlobSeer service and client.
+"""The threaded, in-process BlobSeer runtime — a shim over the protocol core.
 
-This runtime actually stores and serves data, with genuine concurrency:
-many threads may append to the same BLOB simultaneously and the
-versioning protocol guarantees each append lands intact at its assigned
-offset, while readers of published versions are never disturbed.
-
-The write/append data path follows :mod:`repro.blobseer.version_manager`:
-
-* the update's bytes are shipped to providers as position-independent
-  stored objects, in parallel, immediately after version assignment;
-* during the client's *metadata turn* (sequenced by the version
-  manager) the new segment-tree leaves are formed by **overlaying**
-  fragment descriptors over the previous version's — no old data is
-  ever read back or rewritten, so unaligned concurrent appends cost
-  exactly one metadata read per boundary page;
-* the tree for the new version is written to the metadata DHT and the
-  version is committed, which publishes versions in order.
+The client logic lives in :mod:`repro.blobseer.protocol`; this module
+assembles the deployment around the threaded engine: real provider
+objects with byte-materialized pages, the lock-based
+:class:`~repro.blobseer.version_manager.ThreadedVersionManager` bound as
+the ``vm`` control endpoint, and a wall-clock retry policy. Each client
+call drives a protocol generator through the engine's synchronous
+trampoline in the caller's thread.
 """
 
 from __future__ import annotations
 
-import itertools
-import threading
-from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import BlobSeerConfig
-from ..common.errors import (
-    OutOfRangeReadError,
-    PageNotFoundError,
-    ProviderUnavailableError,
-    ReplicationError,
-)
 from ..common.intervals import Extent
-from ..common.rng import substream
+from ..engine.base import Payload
+from ..engine.threaded import ThreadedEngine
 from ..obs import NULL_OBS, Observability
 from .metadata.dht import MetadataDHT
-from .metadata.segment_tree import (
-    NodeKey,
-    build_version,
-    capacity_for,
-    iter_all_pages,
-    query_pages,
-)
-from .pages import Fragment, PageFragments, PageId, fresh_page_id, overlay
+from .protocol import BlobSeerProtocol, compute_layout
 from .provider import Provider
 from .provider_manager import ProviderManager
-from .version_manager import ThreadedVersionManager, Ticket
+from .version_manager import ThreadedVersionManager
 
 
 class BlobSeerService:
@@ -78,6 +54,26 @@ class BlobSeerService:
         self.dht = MetadataDHT(self.config.metadata_providers)
         self.provider_manager = ProviderManager(names, seed=seed, obs=self.obs)
 
+        self.engine = ThreadedEngine(seed=seed, obs=self.obs)
+        self.engine.bind("vm", self.version_manager)
+        for name in names:
+            # resolve through the dict at call time: tests (and the
+            # durability story) swap provider objects to model restarts
+            self.engine.bind_data(
+                name,
+                lambda pid, data, n=name: self.providers[n].put_page(pid, data),
+                lambda pid, off, sz, n=name: self.providers[n].get_page(
+                    pid, off, sz
+                ),
+            )
+        self.protocol = BlobSeerProtocol(
+            self.engine,
+            self.config,
+            self.provider_manager,
+            self.dht,
+            obs=self.obs,
+        )
+
     # -- service operations -------------------------------------------------
 
     def create_blob(self, page_size: Optional[int] = None) -> int:
@@ -101,11 +97,13 @@ class BlobSeerService:
         """Fault injection: crash a provider and exclude it from placement."""
         self.providers[name].fail()
         self.provider_manager.mark_down(name)
+        self.engine.fail_endpoint(name)
 
     def recover_provider(self, name: str) -> None:
         """Bring a crashed provider back."""
         self.providers[name].recover()
         self.provider_manager.mark_up(name)
+        self.engine.recover_endpoint(name)
 
     def close(self) -> None:
         """Release provider persistence backends."""
@@ -119,76 +117,36 @@ class BlobClient:
     def __init__(self, service: BlobSeerService, name: str) -> None:
         self.service = service
         self.name = name
-        self._pool = ThreadPoolExecutor(
-            max_workers=service.config.client_parallelism,
-            thread_name_prefix=f"blobseer-{name}",
-        )
-        # replica rotation: a seeded per-client phase plus a round-robin
-        # step per fetch, so concurrent readers spread over replicas
-        # instead of all hammering the placement-order primary
-        self._replica_rr = itertools.count(
-            int(substream(service.seed, "client", name).integers(1 << 30))
-        )
-        #: providers that failed an RPC, skipped-first for this client's
-        #: lifetime (re-probed last; removed again on a successful reply)
-        self._dead_providers: Set[str] = set()
 
-    # -- blob lifecycle ---------------------------------------------------------
+    @property
+    def _dead_providers(self):
+        """Providers this client has seen failing (sweep-last memory)."""
+        return self.service.protocol.selector(self.name).dead
 
     def create_blob(self, page_size: Optional[int] = None) -> int:
         """Create an empty BLOB; returns its id."""
         return self.service.create_blob(page_size)
 
-    # -- write paths ---------------------------------------------------------------
-
     def append(self, blob_id: int, data: bytes) -> int:
-        """Append *data*; returns the version this update generates.
-
-        The offset is chosen by the version manager (size of the latest
-        assigned version), exactly as in BlobSeer/GFS record append.
-        """
+        """Append *data*; returns the version this update generates. The
+        offset is chosen by the version manager, as in GFS record append."""
         version, _offset = self.append_with_offset(blob_id, data)
         return version
 
     def append_with_offset(self, blob_id: int, data: bytes) -> Tuple[int, int]:
-        """Append *data*; returns ``(version, offset)`` — the offset the
-        version manager assigned. BSFS uses the offset to maintain the
-        file size at its namespace manager."""
-        if not data:
-            raise ValueError("cannot append zero bytes")
-        vm = self.service.version_manager
-        with self.service.obs.tracer.span(
-            "blobseer.append",
-            cat="blobseer",
-            track=self.name,
-            blob=blob_id,
-            nbytes=len(data),
-        ):
-            ticket = vm.assign_append(blob_id, len(data))
-            return self._run_update(ticket, data), ticket.offset
+        """Append *data*; returns ``(version, offset)`` — BSFS uses the
+        assigned offset to maintain the namespace file size."""
+        return self.service.engine.run(
+            self.service.protocol.append(self.name, blob_id, Payload(data))
+        )
 
     def write(self, blob_id: int, offset: int, data: bytes) -> int:
-        """Overwrite ``[offset, offset+len(data))``; returns the new version.
-
-        The offset must be page-aligned and must not create a hole
-        (``offset <= current size``). Data outside the written range is
-        inherited from the previous version via subtree sharing and
-        fragment overlay.
-        """
-        if not data:
-            raise ValueError("cannot write zero bytes")
-        vm = self.service.version_manager
-        with self.service.obs.tracer.span(
-            "blobseer.write",
-            cat="blobseer",
-            track=self.name,
-            blob=blob_id,
-            nbytes=len(data),
-        ):
-            ticket = vm.assign_write(blob_id, offset, len(data))
-            return self._run_update(ticket, data)
-
-    # -- read path --------------------------------------------------------------------
+        """Overwrite ``[offset, offset+len(data))``; returns the new
+        version. The offset must be page-aligned and must not create a
+        hole; data outside the range is inherited via subtree sharing."""
+        return self.service.engine.run(
+            self.service.protocol.write(self.name, blob_id, offset, Payload(data))
+        )
 
     def read(
         self,
@@ -199,100 +157,16 @@ class BlobClient:
     ) -> bytes:
         """Read ``[offset, offset+size)`` of a published version
         (default: the latest)."""
-        if offset < 0 or size < 0:
-            raise ValueError("negative offset/size")
-        vm = self.service.version_manager
-        record = (
-            vm.latest_published(blob_id)
-            if version is None
-            else vm.get_version(blob_id, version)
+        _version, data = self.service.engine.run(
+            self.service.protocol.read(
+                self.name, blob_id, offset, size, version=version
+            )
         )
-        if size == 0:
-            if offset > record.size:
-                raise OutOfRangeReadError(
-                    f"offset {offset} beyond version size {record.size}"
-                )
-            return b""
-        if offset + size > record.size:
-            raise OutOfRangeReadError(
-                f"read [{offset}, {offset + size}) beyond version size {record.size}"
-            )
-        if record.root is None:
-            # aborted version over an empty blob: the whole range is a hole
-            raise PageNotFoundError(
-                f"blob {blob_id} v{record.version}: range is an aborted hole"
-            )
-        sp = self.service.obs.tracer.start(
-            "blobseer.read",
-            cat="blobseer",
-            track=self.name,
-            blob=blob_id,
-            offset=offset,
-            nbytes=size,
-        )
-        page_size = vm.blob(blob_id).page_size
-        first = offset // page_size
-        last = (offset + size - 1) // page_size
-        leaves = query_pages(self.service.dht, record.root, first, last + 1)
-        missing = [p for p in range(first, last + 1) if p not in leaves]
-        if missing:
-            raise PageNotFoundError(
-                f"blob {blob_id} v{record.version}: no pages at indices {missing}"
-            )
-
-        # every (fragment, in-fragment range) needed, with its output slot
-        jobs: List[Tuple[int, Fragment, int, int]] = []  # (out_pos, frag, lo, n)
-        for p in range(first, last + 1):
-            base = p * page_size
-            lo = max(offset, base) - base
-            hi = min(offset + size, base + page_size) - base
-            cursor = lo
-            for frag in leaves[p]:
-                piece = frag.clip(cursor, hi)
-                if piece is None:
-                    continue
-                if piece.start > cursor:
-                    raise PageNotFoundError(
-                        f"blob {blob_id} v{record.version}: hole in page {p} "
-                        f"at [{cursor}, {piece.start})"
-                    )
-                jobs.append(
-                    (base + piece.start - offset, piece, piece.data_offset, piece.length)
-                )
-                cursor = piece.end
-                if cursor >= hi:
-                    break
-            if cursor < hi:
-                raise PageNotFoundError(
-                    f"blob {blob_id} v{record.version}: page {p} ends at "
-                    f"{cursor}, need {hi}"
-                )
-
-        out = bytearray(size)
-
-        def fetch(job: Tuple[int, Fragment, int, int]) -> None:
-            pos, frag, data_off, n = job
-            out[pos : pos + n] = self._fetch_fragment(frag, data_off, n)
-
-        if len(jobs) == 1:
-            fetch(jobs[0])
-        else:
-            futures = [self._pool.submit(fetch, job) for job in jobs]
-            wait(futures)
-            for f in futures:
-                f.result()
-        sp.finish(fragments=len(jobs))
-        return bytes(out)
+        return data
 
     def size(self, blob_id: int, version: Optional[int] = None) -> int:
         """Byte size of a published version (default latest)."""
-        vm = self.service.version_manager
-        record = (
-            vm.latest_published(blob_id)
-            if version is None
-            else vm.get_version(blob_id, version)
-        )
-        return record.size
+        return self.service.version_manager.resolve(blob_id, version)[0].size
 
     def latest_version(self, blob_id: int) -> int:
         """Number of the latest published version."""
@@ -301,188 +175,17 @@ class BlobClient:
     def get_layout(
         self, blob_id: int, version: Optional[int] = None
     ) -> List[Tuple[Extent, Tuple[str, ...]]]:
-        """The data layout of a published version.
-
-        This is the primitive the paper adds to BlobSeer so the
-        Map/Reduce scheduler can be made data-location aware: one
-        ``(extent, providers)`` entry per stored fragment, clipped to
-        the version's size, in offset order.
-        """
-        vm = self.service.version_manager
-        record = (
-            vm.latest_published(blob_id)
-            if version is None
-            else vm.get_version(blob_id, version)
-        )
-        if record.root is None:
-            return []
-        page_size = vm.blob(blob_id).page_size
-        out: List[Tuple[Extent, Tuple[str, ...]]] = []
-        for index, fragments in iter_all_pages(self.service.dht, record.root):
-            base = index * page_size
-            for frag in fragments:
-                visible = min(frag.length, max(0, record.size - base - frag.start))
-                if visible > 0:
-                    out.append((Extent(base + frag.start, visible), frag.providers))
-        return out
+        """The data layout of a published version: one
+        ``(extent, providers)`` entry per stored fragment, in offset
+        order — the primitive the paper adds so the Map/Reduce scheduler
+        can be made data-location aware."""
+        record, page_size = self.service.version_manager.resolve(blob_id, version)
+        return [
+            (Extent(offset, length), providers)
+            for offset, length, providers in compute_layout(
+                self.service.dht, record, page_size
+            )
+        ]
 
     def close(self) -> None:
-        """Shut down the client's I/O thread pool."""
-        self._pool.shutdown(wait=True)
-
-    # -- update machinery ------------------------------------------------------------
-
-    def _run_update(self, ticket: Ticket, data: bytes) -> int:
-        service = self.service
-        tracer = service.obs.tracer
-        vm = service.version_manager
-        ps = ticket.page_size
-        offset, end = ticket.offset, ticket.offset + ticket.nbytes
-        first = offset // ps
-        last = (end - 1) // ps
-        page_indices = list(range(first, last + 1))
-
-        # ship every page's bytes immediately; each page of the update is
-        # one stored object (so reads fetch at page granularity)
-        placements = service.provider_manager.allocate(
-            [min(end, (p + 1) * ps) - max(offset, p * ps) for p in page_indices],
-            replication=service.config.replication,
-        )
-        new_frags: Dict[int, Fragment] = {}
-        futures = []
-
-        def ship(i: int, p: int) -> Tuple[int, Fragment]:
-            lo = max(offset, p * ps)
-            hi = min(end, (p + 1) * ps)
-            page_id = fresh_page_id(ticket.blob_id, self.name)
-            stored_on = self._store_page(page_id, data[lo - offset : hi - offset],
-                                         placements[i])
-            return p, Fragment(
-                start=lo - p * ps,
-                length=hi - lo,
-                page_id=page_id,
-                data_offset=0,
-                providers=stored_on,
-            )
-
-        with tracer.span(
-            "pages.ship",
-            cat="blobseer.data",
-            track=self.name,
-            pages=len(page_indices),
-        ):
-            for i, p in enumerate(page_indices):
-                futures.append(self._pool.submit(ship, i, p))
-            done, _ = wait(futures)
-            for fut in done:
-                p, frag = fut.result()  # surfaces store failures
-                new_frags[p] = frag
-
-        # metadata turn: previous version's tree is now complete
-        with tracer.span(
-            "vm.metadata_turn_wait",
-            cat="blobseer.vm",
-            track=self.name,
-            version=ticket.version,
-        ):
-            prev_root, prev_capacity = vm.wait_metadata_turn(
-                ticket.blob_id, ticket.version
-            )
-
-        # boundary pages inherit the previous version's fragments by
-        # overlay (metadata only — no data is read back)
-        changes: Dict[int, PageFragments] = {}
-        for p, frag in new_frags.items():
-            prev_size_here = max(0, min(ticket.new_size, (p + 1) * ps) - p * ps)
-            whole_page = frag.start == 0 and frag.end >= prev_size_here
-            if whole_page or prev_root is None:
-                changes[p] = (frag,)
-                continue
-            prev_frags = query_pages(service.dht, prev_root, p, p + 1).get(p, ())
-            changes[p] = overlay(prev_frags, frag)
-
-        with tracer.span(
-            "md.build_version", cat="blobseer.md", track=self.name
-        ):
-            root = build_version(
-                service.dht,
-                ticket.blob_id,
-                ticket.version,
-                prev_root,
-                prev_capacity,
-                changes,
-                _capacity_pages(ticket.new_size, ps),
-            )
-        with tracer.span("vm.commit", cat="blobseer.vm", track=self.name):
-            vm.commit(ticket.blob_id, ticket.version, root)
-        return ticket.version
-
-    def _store_page(
-        self, page_id: PageId, data: bytes, providers: Sequence[str]
-    ) -> Tuple[str, ...]:
-        """Write one stored object to every replica, re-allocating around
-        failures. Returns the providers that actually hold it."""
-        remaining = list(providers)
-        stored: List[str] = []
-        attempts = 0
-        while remaining:
-            name = remaining.pop(0)
-            provider = self.service.providers[name]
-            try:
-                provider.put_page(page_id, data)
-                stored.append(name)
-            except ProviderUnavailableError:
-                self.service.provider_manager.mark_down(name)
-                attempts += 1
-                if attempts > 3 + len(providers):
-                    break
-                # pick a substitute provider not already used
-                try:
-                    sub = self.service.provider_manager.allocate(
-                        [len(data)], replication=1
-                    )[0][0]
-                except ReplicationError:
-                    break
-                if sub not in remaining and sub != name and sub not in stored:
-                    remaining.append(sub)
-        if not stored:
-            raise ReplicationError(
-                f"page {page_id} could not be stored on any provider"
-            )
-        return tuple(stored)
-
-    def _fetch_fragment(self, frag: Fragment, data_offset: int, size: int) -> bytes:
-        """Read a byte range of one stored object, falling back across
-        replicas. The starting replica rotates per fetch and providers
-        this client has seen fail are tried last."""
-        n = len(frag.providers)
-        start = next(self._replica_rr) % n if n > 1 else 0
-        order = [frag.providers[(start + i) % n] for i in range(n)]
-        if self._dead_providers:
-            order.sort(key=lambda name: name in self._dead_providers)
-        last_exc: Exception | None = None
-        for name in order:
-            provider = self.service.providers.get(name)
-            if provider is None:
-                continue
-            try:
-                data = provider.get_page(frag.page_id, data_offset, size)
-            except ProviderUnavailableError as exc:
-                self._dead_providers.add(name)
-                last_exc = exc
-            except PageNotFoundError as exc:
-                # the provider answered: alive, just missing this page
-                last_exc = exc
-            else:
-                self._dead_providers.discard(name)
-                return data
-        raise ReplicationError(
-            f"no replica of page {frag.page_id} is readable"
-        ) from last_exc
-
-
-def _capacity_pages(size: int, page_size: int) -> int:
-    """Tree capacity in pages for a blob of *size* bytes."""
-    if size == 0:
-        return 0
-    return capacity_for(-(-size // page_size))
+        """Kept for API compatibility; the client holds no resources."""

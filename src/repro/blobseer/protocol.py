@@ -1,0 +1,507 @@
+"""The BlobSeer client protocol, sans-IO.
+
+Everything a BlobSeer client *does* — request an append/write ticket,
+ship pages to their replica placements, wait for its metadata turn,
+weave the version's segment subtree and commit it, resolve and fetch a
+read — lives here as engine-parameterized generators. The generators
+yield :class:`~repro.engine.base.Engine` ops and never touch the clock,
+threads, or the simulation kernel, so one implementation serves both the
+discrete-event runtime (``repro.blobseer.simulated``) and the threaded
+in-process runtime (``repro.blobseer.client``), which are now thin shims
+over this module.
+
+The metadata tree algorithms run in-process against a
+:class:`~repro.blobseer.metadata.dht.RecordingStore`; the access log is
+then charged through ``engine.charge_md`` so the DES runtime bills each
+node access as an RPC to its owning metadata provider while the threaded
+runtime (whose DHT is genuinely in-process) pays nothing.
+
+Failure handling is shared, not duplicated per runtime: page stores
+reroute around :class:`~repro.common.errors.RpcTimeoutError` by
+allocating substitute providers, and reads fail over replicas through
+:func:`~repro.engine.replica.sweep_fetch` with per-client rotation and
+dead-node memory. When ``engine.faults_active`` is ``False`` (the DES
+runtime before any injected fault) the ship/fetch stages instead take
+the engine's batched fast paths, preserving the simulator's coalesced
+network accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import (
+    OutOfRangeReadError,
+    PageNotFoundError,
+    ReplicationError,
+    RpcTimeoutError,
+)
+from ..engine.base import Engine, Payload
+from ..engine.replica import ReplicaSelector, sweep_fetch
+from ..obs import NULL_OBS, Observability
+from .metadata.dht import MetadataDHT, RecordingStore
+from .metadata.segment_tree import (
+    build_version,
+    capacity_for,
+    iter_all_pages,
+    query_pages,
+)
+from .pages import Fragment, fresh_page_id, overlay
+from .provider_manager import ProviderManager
+from .version_manager import Ticket
+
+
+def capacity_pages(size: int, page_size: int) -> int:
+    """Tree capacity (power of two of pages) for a blob of *size* bytes."""
+    if size == 0:
+        return 0
+    return capacity_for(-(-size // page_size))
+
+
+def compute_layout(dht: MetadataDHT, record, page_size: int):
+    """(offset, length, providers) per stored fragment of a version.
+
+    The locality primitive the paper adds so the Map/Reduce scheduler
+    can place tasks next to their data. Control-plane only: walks the
+    in-process tree without charging transport.
+    """
+    if record.root is None:
+        return []
+    out: List[Tuple[int, int, Tuple[str, ...]]] = []
+    for index, fragments in iter_all_pages(dht, record.root):
+        base = index * page_size
+        for frag in fragments:
+            visible = min(frag.length, max(0, record.size - base - frag.start))
+            if visible > 0:
+                out.append((base + frag.start, visible, frag.providers))
+    return out
+
+
+class BlobSeerProtocol:
+    """The one client stack, bound to a runtime through its engine.
+
+    Holds the deployment's pure in-process components (provider manager
+    for placement, metadata DHT for the tree algorithms) and mediates
+    everything effectful — version-manager RPCs, page transport,
+    metadata charging, backoff sleeps — through the engine.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config,
+        provider_manager: ProviderManager,
+        dht: MetadataDHT,
+        obs: Optional[Observability] = None,
+        metrics=None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.pm = provider_manager
+        self.dht = dht
+        self.obs = obs or NULL_OBS
+        #: per-operation throughput sink (the simulator's Metrics); None
+        #: on runtimes that do not sample op timings
+        self.metrics = metrics
+        self._selectors: Dict[str, ReplicaSelector] = {}
+        self._h_ticket_wait = self.obs.registry.histogram(
+            "vm.append_ticket_wait_s"
+        )
+        self._h_turn_wait = self.obs.registry.histogram(
+            "vm.metadata_turn_wait_s"
+        )
+        self._c_md_rpcs = self.obs.registry.counter("md.rpcs")
+
+    def selector(self, client: str) -> ReplicaSelector:
+        """The client's replica selector (rotation phase + dead memory)."""
+        sel = self._selectors.get(client)
+        if sel is None:
+            sel = self._selectors.setdefault(
+                client,
+                ReplicaSelector(self.engine.rng("replica", "blobseer", client)),
+            )
+        return sel
+
+    # -- update path ---------------------------------------------------------
+
+    def append(
+        self,
+        client: str,
+        blob_id: int,
+        payload: Payload,
+        record: bool = True,
+        parent=None,
+    ):
+        """Generator: one append — ticket, ship, metadata turn, commit.
+
+        Returns ``(version, offset)`` of the published append.
+        """
+        if len(payload) <= 0:
+            raise ValueError("cannot append zero bytes")
+        engine = self.engine
+        start = engine.now()
+        sp = self.obs.tracer.start(
+            "blobseer.append",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            nbytes=len(payload),
+        )
+        sp_vm = self.obs.tracer.start(
+            "vm.assign_append", cat="blobseer.vm", parent=sp, track=client
+        )
+        t0 = engine.now()
+        ticket = yield engine.call("vm", "assign_append", blob_id, len(payload))
+        sp_vm.finish()
+        self._h_ticket_wait.observe(engine.now() - t0)
+        version = yield from self._update(client, ticket, payload, parent=sp)
+        sp.finish(version=version, offset=ticket.offset)
+        if record and self.metrics is not None:
+            self.metrics.record(
+                client, "append", start, engine.now(), len(payload)
+            )
+        return version, ticket.offset
+
+    def write(
+        self,
+        client: str,
+        blob_id: int,
+        offset: int,
+        payload: Payload,
+        record: bool = True,
+        parent=None,
+    ):
+        """Generator: one write-at-offset; returns the published version."""
+        if len(payload) <= 0:
+            raise ValueError("cannot write zero bytes")
+        engine = self.engine
+        start = engine.now()
+        sp = self.obs.tracer.start(
+            "blobseer.write",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            nbytes=len(payload),
+        )
+        sp_vm = self.obs.tracer.start(
+            "vm.assign_write", cat="blobseer.vm", parent=sp, track=client
+        )
+        ticket = yield engine.call(
+            "vm", "assign_write", blob_id, offset, len(payload)
+        )
+        sp_vm.finish()
+        version = yield from self._update(client, ticket, payload, parent=sp)
+        sp.finish(version=version)
+        if record and self.metrics is not None:
+            self.metrics.record(
+                client, "write", start, engine.now(), len(payload)
+            )
+        return version
+
+    def _update(self, client: str, ticket: Ticket, payload: Payload, parent):
+        """The shared body of append/write, from a granted ticket on."""
+        engine = self.engine
+        tracer = self.obs.tracer
+        ps = ticket.page_size
+        offset, end = ticket.offset, ticket.offset + ticket.nbytes
+        first, last = offset // ps, (end - 1) // ps
+        page_indices = range(first, last + 1)
+        sizes = [
+            min(end, (p + 1) * ps) - max(offset, p * ps) for p in page_indices
+        ]
+        placements = self.pm.allocate(
+            sizes, replication=self.config.replication
+        )
+
+        sp_ship = tracer.start(
+            "pages.ship",
+            cat="blobseer.data",
+            parent=parent,
+            track=client,
+            pages=len(sizes),
+        )
+        new_frags: Dict[int, Fragment] = {}
+        if engine.faults_active:
+            # store page by page, rerouting around crashed providers
+            for i, p in enumerate(page_indices):
+                lo, hi = max(offset, p * ps), min(end, (p + 1) * ps)
+                page_id = fresh_page_id(ticket.blob_id, client)
+                stored_on = yield from self._store_page(
+                    client,
+                    page_id,
+                    payload.slice(lo - offset, hi - offset),
+                    placements[i],
+                )
+                new_frags[p] = Fragment(
+                    start=lo - p * ps,
+                    length=hi - lo,
+                    page_id=page_id,
+                    data_offset=0,
+                    providers=stored_on,
+                )
+        else:
+            # fault-free fast path: one batched fan-out for all replicas
+            for i, p in enumerate(page_indices):
+                lo, hi = max(offset, p * ps), min(end, (p + 1) * ps)
+                new_frags[p] = Fragment(
+                    start=lo - p * ps,
+                    length=hi - lo,
+                    page_id=fresh_page_id(ticket.blob_id, client),
+                    data_offset=0,
+                    providers=placements[i],
+                )
+            shippers = engine.ship_many(client, placements, sizes)
+            yield shippers[0] if len(shippers) == 1 else engine.gather(shippers)
+        sp_ship.finish()
+
+        sp_turn = tracer.start(
+            "vm.metadata_turn_wait",
+            cat="blobseer.vm",
+            parent=parent,
+            track=client,
+            version=ticket.version,
+        )
+        turn_t0 = engine.now()
+        prereq = yield engine.wait(
+            "vm", "metadata_turn", ticket.blob_id, ticket.version
+        )
+        sp_turn.finish()
+        self._h_turn_wait.observe(engine.now() - turn_t0)
+        assert prereq is not None, "turn granted before predecessor resolved"
+        prev_root, prev_capacity = prereq
+
+        # overlay partially-covered boundary pages on the previous
+        # version's fragments (reading those leaves costs metadata RPCs)
+        changes: Dict[int, tuple] = {}
+        boundary_log: list = []
+        for p, frag in new_frags.items():
+            defined = max(0, min(ticket.new_size, (p + 1) * ps) - p * ps)
+            if (frag.start == 0 and frag.end >= defined) or prev_root is None:
+                changes[p] = (frag,)
+                continue
+            rec_store = RecordingStore(self.dht)
+            prev_frags = query_pages(rec_store, prev_root, p, p + 1).get(p, ())
+            boundary_log.extend(rec_store.take_log())
+            changes[p] = overlay(prev_frags, frag)
+        if boundary_log:
+            sp_b = tracer.start(
+                "md.boundary_read",
+                cat="blobseer.md",
+                parent=parent,
+                track=client,
+                rpcs=len(boundary_log),
+            )
+            yield from self._charge(boundary_log)
+            sp_b.finish()
+
+        rec_store = RecordingStore(self.dht)
+        root = build_version(
+            rec_store,
+            ticket.blob_id,
+            ticket.version,
+            prev_root,
+            prev_capacity,
+            changes,
+            capacity_pages(ticket.new_size, ps),
+        )
+        build_log = rec_store.take_log()
+        sp_md = tracer.start(
+            "md.build_version",
+            cat="blobseer.md",
+            parent=parent,
+            track=client,
+            rpcs=len(build_log),
+        )
+        yield from self._charge(build_log)
+        sp_md.finish()
+
+        sp_c = tracer.start(
+            "vm.commit", cat="blobseer.vm", parent=parent, track=client
+        )
+        yield engine.call("vm", "commit", ticket.blob_id, ticket.version, root)
+        sp_c.finish()
+        return ticket.version
+
+    def _store_page(self, client: str, page_id, payload: Payload, providers):
+        """Generator: store one page on its placement, rerouting around
+        timeouts by allocating substitute providers. Returns the tuple
+        of providers that actually hold the page."""
+        engine = self.engine
+        remaining = list(providers)
+        stored: List[str] = []
+        attempts = 0
+        while remaining:
+            name = remaining.pop(0)
+            try:
+                yield engine.store(client, name, page_id, payload)
+            except RpcTimeoutError:
+                self.pm.mark_down(name)
+                attempts += 1
+                if attempts > 3 + len(providers):
+                    break
+                try:
+                    substitute = self.pm.allocate(
+                        [len(payload)], replication=1
+                    )[0][0]
+                except ReplicationError:
+                    break
+                if (
+                    substitute != name
+                    and substitute not in remaining
+                    and substitute not in stored
+                ):
+                    remaining.append(substitute)
+            else:
+                stored.append(name)
+        if not stored:
+            raise ReplicationError(
+                f"page {page_id} could not be stored on any provider"
+            )
+        return tuple(stored)
+
+    def _charge(self, log):
+        """Generator: bill a metadata access log as RPCs to its owners."""
+        if not log:
+            return
+        self._c_md_rpcs.inc(len(log))
+        yield self.engine.charge_md([rec.owner for rec in log])
+
+    # -- read path -----------------------------------------------------------
+
+    def read(
+        self,
+        client: str,
+        blob_id: int,
+        offset: int,
+        nbytes: int,
+        version: Optional[int] = None,
+        record: bool = True,
+        parent=None,
+    ):
+        """Generator: read ``[offset, offset+nbytes)`` of a version.
+
+        Returns ``(version, data)`` — *data* is the bytes on engines
+        that materialize payloads and ``None`` under pure simulation.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("read range must be non-negative")
+        engine = self.engine
+        start = engine.now()
+        sp = self.obs.tracer.start(
+            "blobseer.read",
+            cat="blobseer",
+            parent=parent,
+            track=client,
+            blob=blob_id,
+            offset=offset,
+            nbytes=nbytes,
+        )
+        sp_vm = self.obs.tracer.start(
+            "vm.resolve", cat="blobseer.vm", parent=sp, track=client
+        )
+        rec, ps = yield engine.call("vm", "resolve", blob_id, version)
+        sp_vm.finish()
+        if nbytes == 0:
+            if offset > rec.size:
+                raise OutOfRangeReadError(
+                    f"blob {blob_id} v{rec.version}: offset {offset} past "
+                    f"size {rec.size}"
+                )
+            sp.finish(version=rec.version)
+            return rec.version, b""
+        if offset + nbytes > rec.size:
+            raise OutOfRangeReadError(
+                f"blob {blob_id} v{rec.version}: read [{offset}, "
+                f"{offset + nbytes}) past size {rec.size}"
+            )
+        if rec.root is None:
+            raise PageNotFoundError(
+                f"blob {blob_id} v{rec.version}: range is an aborted hole"
+            )
+
+        first, last = offset // ps, (offset + nbytes - 1) // ps
+        rec_store = RecordingStore(self.dht)
+        leaves = query_pages(rec_store, rec.root, first, last + 1)
+        query_log = rec_store.take_log()
+        sp_md = self.obs.tracer.start(
+            "md.query_pages",
+            cat="blobseer.md",
+            parent=sp,
+            track=client,
+            rpcs=len(query_log),
+        )
+        yield from self._charge(query_log)
+        sp_md.finish()
+
+        # walk each page's fragments with a cursor so holes *inside* a
+        # leaf (from an aborted writer whose neighbour committed) fail
+        # loudly instead of returning zeros
+        jobs: List[Tuple[int, Fragment]] = []
+        for p in range(first, last + 1):
+            if p not in leaves:
+                raise PageNotFoundError(
+                    f"blob {blob_id} v{rec.version}: page {p} is a hole"
+                )
+            base = p * ps
+            lo = max(offset, base) - base
+            hi = min(offset + nbytes, base + ps) - base
+            cursor = lo
+            for frag in leaves[p]:
+                piece = frag.clip(cursor, hi)
+                if piece is None:
+                    continue
+                if piece.start > cursor:
+                    raise PageNotFoundError(
+                        f"blob {blob_id} v{rec.version}: hole in page {p} "
+                        f"at [{cursor}, {piece.start})"
+                    )
+                jobs.append((base + piece.start - offset, piece))
+                cursor = piece.end
+                if cursor >= hi:
+                    break
+            if cursor < hi:
+                raise PageNotFoundError(
+                    f"blob {blob_id} v{rec.version}: page {p} ends at "
+                    f"{cursor}, need {hi}"
+                )
+
+        sp_fetch = self.obs.tracer.start(
+            "pages.fetch", cat="blobseer.data", parent=sp, track=client
+        )
+        buf: Optional[bytearray] = None
+        if engine.faults_active:
+            sel = self.selector(client)
+            for out_pos, piece in jobs:
+                data = yield from sweep_fetch(
+                    engine,
+                    sel,
+                    client,
+                    piece.providers,
+                    piece.page_id,
+                    piece.data_offset,
+                    piece.length,
+                    f"page {piece.page_id}",
+                )
+                if data is not None:
+                    if buf is None:
+                        buf = bytearray(nbytes)
+                    buf[out_pos : out_pos + piece.length] = data
+        else:
+            fetchers = [
+                engine.fetch(
+                    client,
+                    piece.providers[0],
+                    piece.page_id,
+                    piece.data_offset,
+                    piece.length,
+                )
+                for _, piece in jobs
+            ]
+            yield engine.gather(fetchers)
+        sp_fetch.finish(fragments=len(jobs))
+        sp.finish(version=rec.version)
+        if record and self.metrics is not None:
+            self.metrics.record(client, "read", start, engine.now(), nbytes)
+        return rec.version, (bytes(buf) if buf is not None else None)

@@ -1,68 +1,38 @@
-"""Simulated BlobSeer runtime — the Grid'5000-scale performance model.
+"""BlobSeer on the simulated cluster — a shim over the protocol core.
 
-The same protocol and the same metadata algorithms as the threaded
-runtime, but run as processes on a :class:`~repro.sim.cluster.SimCluster`:
-
-* page payloads are *sized but not materialized* — their transport costs
-  flow through the max-min-fair network model and the providers' disks;
-* the version manager's critical section is a one-slot
-  :class:`~repro.sim.resources.Resource` with a configurable service
-  time, so version assignment is the only serialization point, exactly
-  as in the real system;
-* every segment-tree node read/write the *genuine* tree algorithms
-  perform is charged as an RPC against the owning simulated metadata
-  provider (see :class:`~repro.blobseer.metadata.dht.RecordingStore`), so
-  metadata contention is modeled from real traffic, not from a formula;
-* providers acknowledge a page once it is received; persistence to disk
-  happens asynchronously (BlobSeer providers cache pages in memory and
-  persist through the BerkeleyDB layer in the background);
-* unaligned appends are pure fragment overlays: a boundary page costs
-  one extra metadata read, never a data read-modify-write.
-
-Clients are generator-based processes; drive them with
-``cluster.env.process(blobseer.append_proc(...))``.
+The client logic lives in :mod:`repro.blobseer.protocol`; this module
+assembles a deployment around the DES engine: it binds the
+version-manager service (:class:`~repro.blobseer.sim_vm.SimVMService`,
+which also keeps append-ticket leases on the simulation clock) and
+exposes the generator entry points experiment drivers wrap in kernel
+processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
+from typing import Generator, List, Optional, Tuple
 
 from ..common.config import BlobSeerConfig
-from ..common.errors import (
-    OutOfRangeReadError,
-    PageNotFoundError,
-    ProviderUnavailableError,
-    ReplicationError,
-)
-from ..common.rng import substream
-from ..faults.plan import RetryPolicy
+from ..engine.base import Payload
+from ..engine.des import DesEngine
 from ..obs import NULL_OBS, Observability
 from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
-from ..sim.resources import Resource, batch_round_trips
-from .metadata.dht import MetadataDHT, RecordingStore
-from .metadata.segment_tree import (
-    build_version,
-    capacity_for,
-    iter_all_pages,
-    query_pages,
-)
-from .pages import Fragment, PageFragments, fresh_page_id, overlay
+from .metadata.dht import MetadataDHT
+from .protocol import BlobSeerProtocol, compute_layout
 from .provider_manager import ProviderManager
-from .version_manager import Ticket, VersionManagerCore
+from .sim_vm import SimVMService
+from .version_manager import VersionManagerCore
 
 
 @dataclass(frozen=True, slots=True)
 class BlobSeerRoles:
-    """Which cluster machines play which BlobSeer role.
-
-    The paper's deployment: "one version manager, one provider manager,
-    one node for the namespace manager and 20 metadata providers. The
-    remaining nodes are used as data providers."
-    """
+    """Which cluster machines play which BlobSeer role — the paper's
+    deployment: one version manager, one provider manager, the metadata
+    providers, and the remaining nodes as data providers."""
 
     version_manager: str
     provider_manager: str
@@ -92,40 +62,27 @@ class SimBlobSeer:
         self.config = config or BlobSeerConfig()
         self.config.validate()
         self.obs = obs or NULL_OBS
-        if self.obs.tracer.enabled:
-            # spans carry simulated timestamps; rebasing keeps successive
-            # deployments sequential in one trace
-            env = self.env
-            self.obs.tracer.use_clock(lambda: env.now)
         self.core = VersionManagerCore(self.obs)
         self.dht = MetadataDHT(len(roles.metadata_providers))
         self.provider_manager = ProviderManager(
             list(roles.data_providers), seed=cluster.config.seed, obs=self.obs
         )
-        # one-slot critical section at the version manager
-        self._vm_slot = Resource(self.env, capacity=1)
-        # each metadata provider serves RPCs one at a time
-        self._mdp_slots = [
-            Resource(self.env, capacity=1) for _ in roles.metadata_providers
-        ]
         self.metrics = Metrics()
-        self._h_ticket_wait = self.obs.registry.histogram(
-            "vm.append_ticket_wait_s"
-        )
-        self._h_turn_wait = self.obs.registry.histogram(
-            "vm.metadata_turn_wait_s"
-        )
-        self._c_md_rpcs = self.obs.registry.counter("md.rpcs")
-        self._c_lease_expiries = self.obs.registry.counter("vm.lease_expiries")
-        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
-        # failure model — dormant (zero-cost fast paths) until the first
-        # fault is injected
-        self._down_data: Set[str] = set()
-        self._down_mdp: Set[int] = set()
-        self._faults_on = False
-        self.retry = RetryPolicy.from_cluster(cluster.config)
-        self._read_rng = substream(
-            cluster.config.seed, "blobseer", "replica-rotation"
+
+        self.engine = DesEngine(cluster, obs=self.obs)
+        self._vm = SimVMService(self.core, self.engine, self.config, self.obs)
+        self.engine.bind("vm", self._vm, cluster.config.version_assign_time)
+        self.engine.bind_md(len(roles.metadata_providers))
+        self.retry = self.engine.retry
+        #: legacy raw-VM-RPC helper for drivers shaping VM traffic directly
+        self._vm_call = self._vm.call
+        self.protocol = BlobSeerProtocol(
+            self.engine,
+            self.config,
+            self.provider_manager,
+            self.dht,
+            obs=self.obs,
+            metrics=self.metrics,
         )
 
     # -- blob lifecycle -------------------------------------------------------
@@ -137,547 +94,64 @@ class SimBlobSeer:
     # -- fault injection -------------------------------------------------------
 
     def fail_provider(self, name: str) -> None:
-        """Crash a data provider: excluded from placement, reads time out.
-
-        Pages whose only replicas live here become unreadable until
-        :meth:`recover_provider` — replication >= 2 is the defense.
-        """
+        """Crash a data provider: excluded from placement, reads time
+        out; its sole-replica pages are unreadable until recovery."""
         if name not in self.roles.data_providers:
             raise KeyError(f"no data provider {name!r}")
-        self._down_data.add(name)
         self.provider_manager.mark_down(name)
-        self._faults_on = True
+        self.engine.fail_endpoint(name)
 
     def recover_provider(self, name: str) -> None:
-        self._down_data.discard(name)
         self.provider_manager.mark_up(name)
+        self.engine.recover_endpoint(name)
 
     def fail_metadata_provider(self, index: int) -> None:
         """Crash metadata provider *index*: its RPCs time out and retry."""
-        if not 0 <= index < len(self._mdp_slots):
+        if not 0 <= index < len(self.roles.metadata_providers):
             raise IndexError(f"no metadata provider {index}")
-        self._down_mdp.add(index)
-        self._faults_on = True
+        self.engine.fail_md(index)
 
     def recover_metadata_provider(self, index: int) -> None:
-        self._down_mdp.discard(index)
+        self.engine.recover_md(index)
 
-    # -- append-ticket leases --------------------------------------------------
-
-    def _arm_lease(self, ticket: Ticket) -> None:
-        """Register the ticket's lease; the clock starts when the version
-        heads the commit queue (time queued behind slow or dead
-        predecessors must not count, or one expiry would cascade through
-        every version stalled behind it). DES events can't be
-        unscheduled — the expiry callback no-ops when the commit won."""
-        if self.config.append_lease_s <= 0:
-            return
-        self.core.when_turn(
-            ticket.blob_id,
-            ticket.version,
-            lambda: self._start_lease(ticket.blob_id, ticket.version),
-        )
-
-    def _start_lease(self, blob_id: int, version: int) -> None:
-        record = self.core.blob(blob_id).versions.get(version)
-        if record is None or record.committed:
-            return
-        self.env.call_at(
-            self.env.now + self.config.append_lease_s,
-            lambda: self._lease_expired(blob_id, version),
-        )
-
-    def _lease_expired(self, blob_id: int, version: int) -> None:
-        record = self.core.blob(blob_id).versions.get(version)
-        if record is None or record.committed:
-            return
-        self._c_lease_expiries.inc()
-        # the lease only ran while this version headed the queue, so its
-        # predecessor has resolved and the abort can go through directly
-        self._abort_now(blob_id, version)
-
-    def _abort_now(self, blob_id: int, version: int) -> None:
-        record = self.core.blob(blob_id).versions.get(version)
-        if record is None or record.committed:
-            return
-        self.core.abort(blob_id, version)
-
-    # -- RPC helpers -----------------------------------------------------------
-
-    def _vm_call(
-        self,
-        client: str,
-        fn,
-        op: str = "call",
-        parent: Optional[Span] = None,
-    ) -> Event:
-        """Round trip to the version manager: latency + serialized service.
-
-        *fn* runs inside the critical section and the returned event
-        fires with its result. The round trip is traced as one
-        ``vm.<op>`` span; append-ticket assignment additionally feeds
-        the ``vm.append_ticket_wait_s`` histogram (latency + queue wait
-        + service — the serialization cost one appender observes at the
-        VM).
-        """
-        sp = self.obs.tracer.start(
-            f"vm.{op}", cat="blobseer.vm", parent=parent, track=client
-        )
-        t0 = self.env.now
-        done = self._vm_slot.round_trip(
-            self.cluster.config.latency,
-            self.cluster.config.version_assign_time,
-            fn,
-        )
-        if op in ("assign_append", "assign_write"):
-
-            def finish(ev: Event) -> None:
-                if ev._ok:
-                    sp.finish()
-                    if op == "assign_append":
-                        self._h_ticket_wait.observe(self.env.now - t0)
-                    # register the lease as part of the assignment
-                    self._arm_lease(ev._value)
-
-            done.callbacks.append(finish)
-        elif self.obs.tracer.enabled:
-            done.callbacks.append(lambda ev: sp.finish() if ev._ok else None)
-        return done
-
-    def _mdp_rpc(self, owner: int) -> Event:
-        """One metadata RPC at provider *owner*: latency + queued service."""
-        return self._mdp_slots[owner].round_trip(
-            self.cluster.config.latency, self.cluster.config.metadata_rpc_time
-        )
-
-    def _charge_metadata(self, records) -> Event:
-        """Charge a batch of logged DHT accesses, all in parallel; the
-        returned event fires when the last RPC's reply is back."""
-        done = Event(self.env)
-        if not records:
-            done.succeed(None)
-            return done
-        self._c_md_rpcs.inc(len(records))
-        if self._faults_on and any(
-            rec.owner in self._down_mdp for rec in records
-        ):
-            # down owners go through the timeout/retry path; the rest
-            # batch as usual
-            events: List[Event] = [
-                self.env.process(self._mdp_rpc_retry(rec.owner))
-                for rec in records
-                if rec.owner in self._down_mdp
-            ]
-            alive = [rec for rec in records if rec.owner not in self._down_mdp]
-            if alive:
-                sub = Event(self.env)
-                batch_round_trips(
-                    [self._mdp_slots[rec.owner] for rec in alive],
-                    self.cluster.config.latency,
-                    self.cluster.config.metadata_rpc_time,
-                    sub,
-                )
-                events.append(sub)
-            return self.env.all_of(events)
-        slots = self._mdp_slots
-        batch_round_trips(
-            [slots[rec.owner] for rec in records],
-            self.cluster.config.latency,
-            self.cluster.config.metadata_rpc_time,
-            done,
-        )
-        return done
-
-    def _mdp_rpc_retry(self, owner: int) -> Generator[Event, None, None]:
-        """One metadata RPC with timeout + capped-backoff retries, for a
-        possibly-crashed owner."""
-        policy = self.retry
-        for attempt in range(policy.max_attempts):
-            if owner in self._down_mdp:
-                self._c_rpc_timeouts.inc()
-                yield self.env.timeout(policy.rpc_timeout)
-                if attempt + 1 < policy.max_attempts:
-                    yield self.env.timeout(policy.backoff(attempt))
-            else:
-                yield self._mdp_rpc(owner)
-                return
-        raise ProviderUnavailableError(
-            f"metadata provider {owner} is down (gave up after "
-            f"{policy.max_attempts} attempts)"
-        )
-
-    # -- data-plane helpers --------------------------------------------------------
-
-    def _ship_pages(
-        self,
-        client: str,
-        placements: Sequence[Sequence[str]],
-        sizes: Sequence[int],
-    ) -> List[Event]:
-        """Send a batch of stored objects to their replicas (ack on receipt).
-
-        Replicas are written in parallel from the client, like BlobSeer's
-        asynchronous page writes. Every ``(page, replica)`` transfer of the
-        batch starts through the network's batch API, so the whole fan-out
-        costs one coalesced reallocation instead of one per replica. Each
-        returned event fires when that page's last replica has the bytes;
-        persistence happens in the background.
-        """
-        flat = self.cluster.network.transfer_many(
-            (client, prov, nbytes)
-            for providers, nbytes in zip(placements, sizes)
-            for prov in providers
-        )
-        out: List[Event] = []
-        pos = 0
-        for providers, nbytes in zip(placements, sizes):
-            transfers = flat[pos : pos + len(providers)]
-            pos += len(providers)
-            # single replica (the default): no fan-in barrier needed
-            done = (
-                transfers[0]
-                if len(transfers) == 1
-                else self.env.all_of(transfers)
-            )
-
-            def persist(
-                ev: Event,
-                providers: Sequence[str] = providers,
-                nbytes: int = nbytes,
-            ) -> None:
-                if ev._ok:
-                    for prov in providers:
-                        # asynchronous persistence; disk contention accrues
-                        self.cluster.node(prov).disk.write(nbytes, notify=False)
-
-            done.callbacks.append(persist)
-            out.append(done)
-        return out
-
-    def _fetch_fragment(
-        self, client: str, frag: Fragment, nbytes: int
-    ) -> Event:
-        """Read *nbytes* of one stored object from its primary provider:
-        disk (or page-cache) service then network transfer; the returned
-        event fires when the bytes reach the client.
-
-        Once any fault has been injected, fetches go through the
-        replica-failover retry path instead.
-        """
-        if self._faults_on:
-            return self.env.process(
-                self._fetch_fragment_retry(client, frag, nbytes)
-            )
-        prov = frag.primary
-        done = Event(self.env)
-
-        def off_disk(ev: Event) -> None:
-            if not ev._ok:
-                done.fail(ev._value)
-                return
-            t = self.cluster.network.transfer(prov, client, nbytes)
-            t.callbacks.append(
-                lambda tv: done.succeed(None)
-                if tv._ok
-                else done.fail(tv._value)
-            )
-
-        self.cluster.node(prov).disk.read(nbytes).callbacks.append(off_disk)
-        return done
-
-    def _fetch_fragment_retry(
-        self, client: str, frag: Fragment, nbytes: int
-    ) -> Generator[Event, None, None]:
-        """Replica failover: rotated starting replica, a charged RPC
-        timeout per down provider, capped backoff between full sweeps."""
-        policy = self.retry
-        providers = frag.providers
-        n = len(providers)
-        start = int(self._read_rng.integers(n)) if n > 1 else 0
-        for attempt in range(policy.max_attempts):
-            prov = providers[(start + attempt) % n]
-            if prov in self._down_data:
-                self._c_rpc_timeouts.inc()
-                yield self.env.timeout(policy.rpc_timeout)
-            else:
-                yield self.cluster.node(prov).disk.read(nbytes)
-                yield self.cluster.network.transfer(prov, client, nbytes)
-                return
-            if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
-                # a full sweep of replicas failed: back off before retrying
-                yield self.env.timeout(policy.backoff(attempt // n))
-        raise ReplicationError(
-            f"no replica of page {frag.page_id} is readable "
-            f"(providers {providers})"
-        )
-
-    # -- client operations ------------------------------------------------------------
+    # -- client operations -----------------------------------------------------
 
     def append_proc(
-        self,
-        client: str,
-        blob_id: int,
-        nbytes: int,
-        record: bool = True,
-        parent: Optional[Span] = None,
+        self, client: str, blob_id: int, nbytes: int,
+        record: bool = True, parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
-        """Append *nbytes* from machine *client*; returns the new version."""
-        if nbytes <= 0:
-            raise ValueError("append of zero bytes")
-        start = self.env.now
-        sp = self.obs.tracer.start(
-            "blobseer.append",
-            cat="blobseer",
-            parent=parent,
-            track=client,
-            blob=blob_id,
-            nbytes=nbytes,
+        """Simulated process: one append of *nbytes*; returns the version."""
+        version, _offset = yield from self.protocol.append(
+            client, blob_id, Payload(nbytes=nbytes), record=record, parent=parent
         )
-        ticket: Ticket = yield self._vm_call(
-            client,
-            lambda: self.core.assign_append(blob_id, nbytes),
-            op="assign_append",
-            parent=sp,
-        )
-        version = yield from self._update_body(client, ticket, parent=sp)
-        sp.finish(version=version, offset=ticket.offset)
-        if record:
-            self.metrics.record(client, "append", start, self.env.now, nbytes)
         return version
 
     def write_proc(
-        self,
-        client: str,
-        blob_id: int,
-        offset: int,
-        nbytes: int,
-        record: bool = True,
-        parent: Optional[Span] = None,
+        self, client: str, blob_id: int, offset: int, nbytes: int,
+        record: bool = True, parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
-        """Overwrite ``[offset, offset+nbytes)``; returns the new version."""
-        start = self.env.now
-        sp = self.obs.tracer.start(
-            "blobseer.write",
-            cat="blobseer",
-            parent=parent,
-            track=client,
-            blob=blob_id,
-            nbytes=nbytes,
+        """Simulated process: one write-at-offset; returns the version."""
+        version = yield from self.protocol.write(
+            client, blob_id, offset, Payload(nbytes=nbytes),
+            record=record, parent=parent,
         )
-        ticket: Ticket = yield self._vm_call(
-            client,
-            lambda: self.core.assign_write(blob_id, offset, nbytes),
-            op="assign_write",
-            parent=sp,
-        )
-        version = yield from self._update_body(client, ticket, parent=sp)
-        sp.finish(version=version)
-        if record:
-            self.metrics.record(client, "write", start, self.env.now, nbytes)
         return version
 
-    def _update_body(
-        self, client: str, ticket: Ticket, parent: Optional[Span] = None
-    ) -> Generator[Event, None, int]:
-        tracer = self.obs.tracer
-        ps = ticket.page_size
-        offset, end = ticket.offset, ticket.offset + ticket.nbytes
-        first = offset // ps
-        last = (end - 1) // ps
-        page_indices = list(range(first, last + 1))
-        sizes = [
-            min(end, (p + 1) * ps) - max(offset, p * ps) for p in page_indices
-        ]
-        placements = self.provider_manager.allocate(
-            sizes, replication=self.config.replication
-        )
-
-        # ship every page's bytes in parallel right away
-        sp_ship = tracer.start(
-            "pages.ship",
-            cat="blobseer.data",
-            parent=parent,
-            track=client,
-            pages=len(page_indices),
-        )
-        new_frags: Dict[int, Fragment] = {}
-        for i, p in enumerate(page_indices):
-            lo = max(offset, p * ps)
-            hi = min(end, (p + 1) * ps)
-            new_frags[p] = Fragment(
-                start=lo - p * ps,
-                length=hi - lo,
-                page_id=fresh_page_id(ticket.blob_id, client),
-                data_offset=0,
-                providers=placements[i],
-            )
-        shippers = self._ship_pages(client, placements, sizes)
-        yield shippers[0] if len(shippers) == 1 else self.env.all_of(shippers)
-        sp_ship.finish()
-
-        # metadata turn — the when_turn queue wait is the commit-ordering
-        # serialization the paper's analysis hinges on, so time it
-        sp_turn = tracer.start(
-            "vm.metadata_turn_wait",
-            cat="blobseer.vm",
-            parent=parent,
-            track=client,
-            version=ticket.version,
-        )
-        turn_t0 = self.env.now
-        turn = self.env.event()
-        self.core.when_turn(
-            ticket.blob_id, ticket.version, lambda: turn.succeed(None)
-        )
-        yield turn
-        sp_turn.finish()
-        self._h_turn_wait.observe(self.env.now - turn_t0)
-        prereq = self.core.metadata_prereq(ticket.blob_id, ticket.version)
-        assert prereq is not None
-        prev_root, prev_capacity = prereq
-
-        # boundary pages: inherit the previous fragments by overlay
-        # (metadata reads only — no data movement)
-        changes: Dict[int, PageFragments] = {}
-        boundary_log = []
-        for p, frag in new_frags.items():
-            defined = max(0, min(ticket.new_size, (p + 1) * ps) - p * ps)
-            if (frag.start == 0 and frag.end >= defined) or prev_root is None:
-                changes[p] = (frag,)
-                continue
-            rec_store = RecordingStore(self.dht)
-            prev_frags = query_pages(rec_store, prev_root, p, p + 1).get(p, ())
-            boundary_log.extend(rec_store.take_log())
-            changes[p] = overlay(prev_frags, frag)
-        if boundary_log:
-            sp_b = tracer.start(
-                "md.boundary_read",
-                cat="blobseer.md",
-                parent=parent,
-                track=client,
-                rpcs=len(boundary_log),
-            )
-            yield self._charge_metadata(boundary_log)
-            sp_b.finish()
-
-        # write the new version's tree nodes (parallel, charged per owner)
-        rec_store = RecordingStore(self.dht)
-        new_capacity = (
-            0 if ticket.new_size == 0 else capacity_for(-(-ticket.new_size // ps))
-        )
-        root = build_version(
-            rec_store,
-            ticket.blob_id,
-            ticket.version,
-            prev_root,
-            prev_capacity,
-            changes,
-            new_capacity,
-        )
-        build_log = rec_store.take_log()
-        sp_md = tracer.start(
-            "md.build_version",
-            cat="blobseer.md",
-            parent=parent,
-            track=client,
-            rpcs=len(build_log),
-        )
-        yield self._charge_metadata(build_log)
-        sp_md.finish()
-
-        # commit + in-order publication at the VM
-        yield self._vm_call(
-            client,
-            lambda: self.core.commit(ticket.blob_id, ticket.version, root),
-            op="commit",
-            parent=parent,
-        )
-        return ticket.version
-
     def read_proc(
-        self,
-        client: str,
-        blob_id: int,
-        offset: int,
-        nbytes: int,
-        version: Optional[int] = None,
-        record: bool = True,
+        self, client: str, blob_id: int, offset: int, nbytes: int,
+        version: Optional[int] = None, record: bool = True,
         parent: Optional[Span] = None,
     ) -> Generator[Event, None, int]:
-        """Read ``[offset, offset+nbytes)`` of a published version; returns
-        the version actually read."""
-        if offset < 0 or nbytes <= 0:
-            raise ValueError("bad read range")
-        start = self.env.now
-        tracer = self.obs.tracer
-        sp = tracer.start(
-            "blobseer.read",
-            cat="blobseer",
-            parent=parent,
-            track=client,
-            blob=blob_id,
-            offset=offset,
-            nbytes=nbytes,
+        """Simulated process: read a range; returns the version read."""
+        if nbytes <= 0:
+            raise ValueError("read size must be positive")
+        version_read, _data = yield from self.protocol.read(
+            client, blob_id, offset, nbytes,
+            version=version, record=record, parent=parent,
         )
+        return version_read
 
-        def resolve():
-            if version is None:
-                return self.core.latest_published(blob_id)
-            return self.core.get_version(blob_id, version)
-
-        rec = yield self._vm_call(client, resolve, op="resolve", parent=sp)
-        if offset + nbytes > rec.size:
-            raise OutOfRangeReadError(
-                f"read [{offset}, {offset + nbytes}) beyond size {rec.size}"
-            )
-        if rec.root is None:
-            # aborted version over an empty blob: the range is all hole
-            raise PageNotFoundError(
-                f"blob {blob_id} v{rec.version}: range is an aborted hole"
-            )
-        ps = self.core.blob(blob_id).page_size
-        first = offset // ps
-        last = (offset + nbytes - 1) // ps
-        rec_store = RecordingStore(self.dht)
-        leaves = query_pages(rec_store, rec.root, first, last + 1)
-        query_log = rec_store.take_log()
-        sp_md = tracer.start(
-            "md.query_pages",
-            cat="blobseer.md",
-            parent=sp,
-            track=client,
-            rpcs=len(query_log),
-        )
-        yield self._charge_metadata(query_log)
-        sp_md.finish()
-        sp_fetch = tracer.start(
-            "pages.fetch", cat="blobseer.data", parent=sp, track=client
-        )
-        fetchers = []
-        for p in range(first, last + 1):
-            base = p * ps
-            lo = max(offset, base) - base
-            hi = min(offset + nbytes, base + ps) - base
-            if p not in leaves:
-                # a page inside an aborted append's range: permanent hole
-                raise PageNotFoundError(
-                    f"blob {blob_id} v{rec.version}: page {p} is a hole"
-                )
-            for frag in leaves[p]:
-                piece = frag.clip(lo, hi)
-                if piece is None:
-                    continue
-                fetchers.append(
-                    self._fetch_fragment(client, piece, piece.length)
-                )
-        yield self.env.all_of(fetchers)
-        sp_fetch.finish(fragments=len(fetchers))
-        sp.finish(version=rec.version)
-        if record:
-            self.metrics.record(client, "read", start, self.env.now, nbytes)
-        return rec.version
-
-    # -- introspection ------------------------------------------------------------------
+    # -- introspection ---------------------------------------------------------
 
     def layout(
         self, blob_id: int, version: Optional[int] = None
@@ -689,14 +163,4 @@ class SimBlobSeer:
             if version is None
             else self.core.get_version(blob_id, version)
         )
-        if rec.root is None:
-            return []
-        ps = self.core.blob(blob_id).page_size
-        out = []
-        for index, fragments in iter_all_pages(self.dht, rec.root):
-            base = index * ps
-            for frag in fragments:
-                visible = min(frag.length, max(0, rec.size - base - frag.start))
-                if visible > 0:
-                    out.append((base + frag.start, visible, frag.providers))
-        return out
+        return compute_layout(self.dht, rec, self.core.blob(blob_id).page_size)

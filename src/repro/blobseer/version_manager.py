@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -345,12 +344,6 @@ class ThreadedVersionManager:
         self._lease_s = config.append_lease_s if config else 30.0
         self._turn_timeout_s = config.metadata_turn_timeout_s if config else 60.0
         self._lease_timers: Dict[tuple[int, int], threading.Timer] = {}
-        self._h_ticket_wait = self.obs.registry.histogram(
-            "vm.append_ticket_wait_s"
-        )
-        self._h_turn_wait = self.obs.registry.histogram(
-            "vm.metadata_turn_wait_s"
-        )
         self._c_lease_expiries = self.obs.registry.counter("vm.lease_expiries")
 
     def create_blob(self, page_size: int) -> int:
@@ -358,12 +351,10 @@ class ThreadedVersionManager:
             return self.core.create_blob(page_size)
 
     def assign_append(self, blob_id: int, nbytes: int) -> Ticket:
-        t0 = time.perf_counter()
         with self._lock:
             ticket = self.core.assign_append(blob_id, nbytes)
             self._arm_lease_locked(ticket)
-        self._h_ticket_wait.observe(time.perf_counter() - t0)
-        return ticket
+            return ticket
 
     def assign_write(self, blob_id: int, offset: int, nbytes: int) -> Ticket:
         with self._lock:
@@ -447,7 +438,6 @@ class ThreadedVersionManager:
         """
         if timeout is None:
             timeout = self._turn_timeout_s
-        t0 = time.perf_counter()
         with self._turn:
             deadline_info = self.core.metadata_prereq(blob_id, version)
             while deadline_info is None:
@@ -459,7 +449,6 @@ class ThreadedVersionManager:
                         f"blob {blob_id} v{version}"
                     )
                 deadline_info = self.core.metadata_prereq(blob_id, version)
-        self._h_turn_wait.observe(time.perf_counter() - t0)
         return deadline_info
 
     def commit(self, blob_id: int, version: int, root: Optional[NodeKey]) -> None:
@@ -472,6 +461,26 @@ class ThreadedVersionManager:
         finally:
             if timer is not None:
                 timer.cancel()
+
+    # -- control-endpoint surface (bound as "vm" by the threaded runtime) ----
+
+    def resolve(
+        self, blob_id: int, version: Optional[int] = None
+    ) -> tuple[VersionRecord, int]:
+        """``(record, page_size)`` of a published version (default latest)."""
+        with self._lock:
+            rec = (
+                self.core.latest_published(blob_id)
+                if version is None
+                else self.core.get_version(blob_id, version)
+            )
+            return rec, self.core.blob(blob_id).page_size
+
+    def metadata_turn(self, blob_id: int, version: int):
+        """Engine-endpoint alias: blocks the calling thread until this
+        version heads the commit queue (or the lease machinery aborts a
+        stuck predecessor)."""
+        return self.wait_metadata_turn(blob_id, version)
 
     def latest_published(self, blob_id: int) -> VersionRecord:
         with self._lock:

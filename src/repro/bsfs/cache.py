@@ -50,24 +50,42 @@ class ReadBlockCache:
         self._on_hit = on_hit
         self._on_miss = on_miss
 
+    def lookup(self, index: int) -> Optional[bytes]:
+        """The block at *index*, or None on a (counted) miss.
+
+        The split lookup/:meth:`insert` API serves the generator stream
+        cores, which must yield to their engine between the miss and the
+        fill; :meth:`get` remains for synchronous callers.
+        """
+        block = self._blocks.get(index)
+        if block is None:
+            self.misses += 1
+            if self._on_miss is not None:
+                self._on_miss()
+            return None
+        self.hits += 1
+        if self._on_hit is not None:
+            self._on_hit()
+        self._blocks.move_to_end(index)
+        return block
+
+    def insert(self, index: int, block: Optional[bytes]) -> None:
+        """Fill *index* after a miss (LRU evicting). None — a simulated
+        read that carries no bytes — is not cached."""
+        if block is None:
+            return
+        self._blocks[index] = block
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)
+
     def get(
         self, index: int, fetch: Callable[[int], bytes]
     ) -> bytes:
         """The block at *index*, via *fetch* on a miss (LRU evicting)."""
-        block = self._blocks.get(index)
-        if block is not None:
-            self.hits += 1
-            if self._on_hit is not None:
-                self._on_hit()
-            self._blocks.move_to_end(index)
-            return block
-        self.misses += 1
-        if self._on_miss is not None:
-            self._on_miss()
-        block = fetch(index)
-        self._blocks[index] = block
-        while len(self._blocks) > self.capacity_blocks:
-            self._blocks.popitem(last=False)
+        block = self.lookup(index)
+        if block is None:
+            block = fetch(index)
+            self.insert(index, block)
         return block
 
     def invalidate(self, index: Optional[int] = None) -> None:

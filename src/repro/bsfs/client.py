@@ -1,12 +1,10 @@
 """BSFS — the BlobSeer File System layer, as integrated into Hadoop.
 
-:class:`BSFS` bundles a BlobSeer service with a namespace manager;
-:class:`BSFSFileSystem` exposes the Hadoop ``FileSystem`` interface over
-it. Unlike the HDFS baseline, :meth:`BSFSFileSystem.append` *works*:
-any number of clients may hold append streams on the same file
-concurrently, and the BlobSeer versioning protocol serializes their
-blocks into the shared file without the writers ever blocking each
-other or the readers.
+A shim over :mod:`repro.bsfs.protocol` on the threaded engine. Unlike
+the HDFS baseline, :meth:`BSFSFileSystem.append` *works*: any number of
+clients may hold append streams on the same file concurrently, and the
+BlobSeer versioning protocol serializes their blocks without writers
+ever blocking each other or the readers.
 """
 
 from __future__ import annotations
@@ -30,8 +28,14 @@ from ..common.fs import (
 )
 from ..obs import NULL_OBS, Observability
 from ..sim.metrics import Metrics
-from .cache import ReadBlockCache, WriteBehindBuffer
+from .cache import ReadBlockCache
 from .namespace import BSFSFile, NamespaceManager
+from .protocol import (
+    AppendStreamCore,
+    BSFSProtocol,
+    ReadStreamCore,
+    clip_block_locations,
+)
 
 
 class BSFS:
@@ -55,6 +59,11 @@ class BSFS:
         #: experiment-level samples/counters; streams push cache and
         #: write-behind totals here when they close
         self.metrics = Metrics()
+        self.engine = self.service.engine
+        self.engine.bind("ns", self.namespace)
+        self.protocol = BSFSProtocol(
+            self.engine, self.service.protocol, obs=self.obs
+        )
 
     def file_system(self, client_name: str = "client") -> "BSFSFileSystem":
         """A client endpoint bound to this deployment."""
@@ -123,36 +132,19 @@ class BSFSFileSystem(FileSystem):
         self, path: str, offset: int, length: int
     ) -> List[BlockLocation]:
         """Page-level layout from BlobSeer's new layout primitive, clipped
-        to the file's namespace size — this is what the modified
-        framework hands the jobtracker for locality-aware scheduling."""
+        to the file's namespace size — the scheduler's locality input."""
         record = self.deployment.namespace.get(path)
         size = self.deployment.namespace.get_status(path).size
-        out: List[BlockLocation] = []
-        for extent, providers in self.blob_client.get_layout(record.blob_id):
-            visible = min(extent.size, max(0, size - extent.offset))
-            if visible <= 0:
-                continue
-            if extent.offset + visible > offset and extent.offset < offset + length:
-                out.append(
-                    BlockLocation(
-                        offset=extent.offset, length=visible, hosts=providers
-                    )
-                )
-        return out
+        layout = self.blob_client.get_layout(record.blob_id)
+        return clip_block_locations(layout, size, offset, length)
 
 
 class BSFSOutputStream(OutputStream):
-    """Write/append stream with write-behind block buffering.
+    """Write/append stream with write-behind block buffering. Created by
+    both ``create`` (fresh BLOB) and ``append`` (shared BLOB); every
+    emitted block is one BLOB append."""
 
-    Created by both :meth:`BSFSFileSystem.create` (fresh BLOB) and
-    :meth:`BSFSFileSystem.append` (shared BLOB): in both cases every
-    emitted block is one BLOB append, and the namespace size is bumped
-    to the append's end offset afterwards.
-    """
-
-    def __init__(
-        self, fs: BSFSFileSystem, path: str, record: BSFSFile
-    ) -> None:
+    def __init__(self, fs: BSFSFileSystem, path: str, record: BSFSFile) -> None:
         self.fs = fs
         self.path = path
         self.record = record
@@ -160,14 +152,19 @@ class BSFSOutputStream(OutputStream):
         self._written = 0
         self._lock = threading.Lock()
         cfg = fs.deployment.config
-        self._buffer: Optional[WriteBehindBuffer] = (
-            WriteBehindBuffer(cfg.page_size) if cfg.cache_enabled else None
+        self._core = AppendStreamCore(
+            fs.deployment.protocol,
+            fs.client_name,
+            path,
+            record.blob_id,
+            cfg.page_size,
+            buffered=cfg.cache_enabled,
         )
-        #: number of BLOB appends issued (tests the write-behind batching)
-        self.appends_issued = 0
-        obs = fs.deployment.obs
-        self._tracer = obs.tracer
-        self._c_flushes = obs.registry.counter("bsfs.writebehind.flushes")
+
+    @property
+    def appends_issued(self) -> int:
+        """Number of BLOB appends issued (tests the write-behind batching)."""
+        return self._core.appends_issued
 
     def write(self, data: bytes) -> int:
         with self._lock:
@@ -175,45 +172,18 @@ class BSFSOutputStream(OutputStream):
             if not data:
                 return 0
             self._written += len(data)
-            if self._buffer is None:
-                self._commit(data)
-            else:
-                for block in self._buffer.add(data):
-                    self._commit(block)
+            self.fs.deployment.engine.run(self._core.write(data))
             return len(data)
 
     def flush(self) -> None:
-        """Commit any buffered partial block as an append right now.
-
-        Unlike HDFS (where mid-chunk flush is impossible), BSFS can make
-        buffered data durable and visible on demand — this is what lets
-        an HBase-style application sync its transaction log.
-        """
+        """Commit any buffered partial block as an append right now —
+        unlike HDFS, BSFS can make buffered data visible on demand."""
         with self._lock:
             self._check_open()
             self._flush_locked()
 
     def _flush_locked(self) -> None:
-        if self._buffer is not None:
-            block = self._buffer.drain()
-            if block:
-                self._commit(block)
-
-    def _commit(self, block: bytes) -> None:
-        with self._tracer.span(
-            "bsfs.append",
-            cat="bsfs",
-            track=self.fs.client_name,
-            path=self.path,
-            nbytes=len(block),
-        ):
-            _version, offset = self.fs.blob_client.append_with_offset(
-                self.record.blob_id, block
-            )
-        self.fs.deployment.namespace.update_size(self.path, offset + len(block))
-        self.appends_issued += 1
-        if self._buffer is not None:
-            self._c_flushes.inc()
+        self.fs.deployment.engine.run(self._core.flush())
 
     def tell(self) -> int:
         with self._lock:
@@ -227,16 +197,16 @@ class BSFSOutputStream(OutputStream):
             self._closed = True
             metrics = self.fs.deployment.metrics
             metrics.bump("bsfs.appends_issued", float(self.appends_issued))
-            if self._buffer is not None:
-                metrics.bump("bsfs.writebehind.flushes", float(self._buffer.flushes))
+            buffer = self._core.buffer
+            if buffer is not None:
+                metrics.bump("bsfs.writebehind.flushes", float(buffer.flushes))
 
     def discard(self) -> None:
-        """Drop buffered data and close without appending it — blocks
-        already committed stay in the file (append atomicity is per
-        block)."""
+        """Drop buffered data and close without appending it — already
+        committed blocks stay (append atomicity is per block)."""
         with self._lock:
-            if self._buffer is not None:
-                self._buffer.drain()
+            if self._core.buffer is not None:
+                self._core.buffer.drain()
             self._closed = True
 
     def _check_open(self) -> None:
@@ -245,13 +215,10 @@ class BSFSOutputStream(OutputStream):
 
 
 class BSFSInputStream(InputStream):
-    """Read stream with whole-block prefetching.
-
-    The stream tracks the file's namespace size lazily: a read past the
-    last known size re-consults the namespace manager, so a reader can
-    follow a file that concurrent appenders are still growing — the
-    pipelined Map/Reduce pattern of the paper's Section 5.
-    """
+    """Read stream with whole-block prefetching. The namespace size is
+    tracked lazily: a read past the last known size re-consults the
+    namespace manager, so a reader can follow a file that concurrent
+    appenders are still growing (the paper's pipelined Map/Reduce)."""
 
     def __init__(self, fs: BSFSFileSystem, path: str, record: BSFSFile) -> None:
         self.fs = fs
@@ -273,9 +240,20 @@ class BSFSInputStream(InputStream):
             if cfg.cache_enabled
             else None
         )
+        self._core = ReadStreamCore(
+            fs.deployment.protocol,
+            fs.client_name,
+            path,
+            record.blob_id,
+            record.page_size,
+            cache=self._cache,
+        )
         self._known_size = fs.deployment.namespace.get_status(path).size
-        #: lifetime counter of BLOB reads issued (prefetch effectiveness)
-        self.fetches = 0
+
+    @property
+    def fetches(self) -> int:
+        """Lifetime counter of BLOB reads issued (prefetch effectiveness)."""
+        return self._core.fetches
 
     # -- positioning ---------------------------------------------------------------
 
@@ -305,29 +283,25 @@ class BSFSInputStream(InputStream):
     def read(self, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            with self._tracer.span(
-                "bsfs.read",
-                cat="bsfs",
-                track=self.fs.client_name,
-                path=self.path,
-                nbytes=n,
-            ):
-                data = self._pread_locked(self._pos, n)
+            data = self._traced_pread(self._pos, n)
             self._pos += len(data)
             return data
 
     def pread(self, offset: int, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            with self._tracer.span(
-                "bsfs.read",
-                cat="bsfs",
-                track=self.fs.client_name,
-                path=self.path,
-                offset=offset,
-                nbytes=n,
-            ):
-                return self._pread_locked(offset, n)
+            return self._traced_pread(offset, n)
+
+    def _traced_pread(self, offset: int, n: int) -> bytes:
+        with self._tracer.span(
+            "bsfs.read",
+            cat="bsfs",
+            track=self.fs.client_name,
+            path=self.path,
+            offset=offset,
+            nbytes=n,
+        ):
+            return self._pread_locked(offset, n)
 
     def _pread_locked(self, offset: int, n: int) -> bytes:
         if n < 0:
@@ -339,37 +313,9 @@ class BSFSInputStream(InputStream):
         if offset >= self._known_size:
             return b""
         n = min(n, self._known_size - offset)
-        ps = self.record.page_size
-        pieces: List[bytes] = []
-        pos = offset
-        remaining = n
-        while remaining > 0:
-            index = pos // ps
-            in_block = pos - index * ps
-            take = min(remaining, ps - in_block)
-            pieces.append(self._read_block_range(index, in_block, take))
-            pos += take
-            remaining -= take
-        return b"".join(pieces)
-
-    def _read_block_range(self, index: int, offset: int, size: int) -> bytes:
-        ps = self.record.page_size
-        base = index * ps
-
-        def fetch(idx: int) -> bytes:
-            length = min(ps, self._known_size - base)
-            self.fetches += 1
-            return self.fs.blob_client.read(self.record.blob_id, base, length)
-
-        if self._cache is None:
-            self.fetches += 1
-            return self.fs.blob_client.read(self.record.blob_id, base + offset, size)
-        block = self._cache.get(index, fetch)
-        if len(block) < offset + size:
-            # a previously partial tail block has grown since it was cached
-            self._cache.invalidate(index)
-            block = self._cache.get(index, fetch)
-        return block[offset : offset + size]
+        return self.fs.deployment.engine.run(
+            self._core.read_range(offset, n, self._known_size)
+        )
 
     def close(self) -> None:
         with self._lock:

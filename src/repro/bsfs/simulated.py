@@ -1,34 +1,29 @@
-"""Simulated BSFS — file-level operations on the DES cluster.
+"""Simulated BSFS — a shim over the protocol core on the DES engine.
 
-Wraps :class:`~repro.blobseer.simulated.SimBlobSeer` with the
-centralized namespace manager (a one-slot service with a configurable
-RPC time, like the version manager) so that microbenchmarks exercise
-exactly the paper's two-step append: BLOB append, then a file-size
-update at the namespace manager.
-
-BSFS has no data-plane flows of its own: every byte moves through
-``SimBlobSeer``, whose page fan-outs start via the network's
-``transfer_many`` batch API so same-instant replica churn coalesces
-into one end-of-timestep reallocation (see ``sim/network.py``).
+The file-layer logic lives in :mod:`repro.bsfs.protocol`; this module
+wires it to the deployment's DES engine (shared with the underlying
+:class:`~repro.blobseer.simulated.SimBlobSeer`), binding the real
+:class:`~repro.bsfs.namespace.NamespaceManager` as the ``ns`` control
+endpoint — a one-slot charged service, like the version manager — so
+microbenchmarks exercise exactly the paper's two-step append.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional
 
 from ..blobseer.metadata.segment_tree import build_version, capacity_for
 from ..blobseer.pages import Fragment, fresh_page_id
 from ..blobseer.simulated import BlobSeerRoles, SimBlobSeer
 from ..common.config import BlobSeerConfig
-from ..common.errors import FileNotFoundInNamespaceError
+from ..engine.base import Payload
 from ..obs import NULL_OBS, Observability
-from ..obs.tracer import Span
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
-from ..sim.resources import Resource
 from .namespace import NamespaceManager
+from .protocol import BSFSProtocol
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,118 +51,53 @@ class SimBSFS:
         self.blobseer = SimBlobSeer(cluster, roles.blobseer, config, obs=self.obs)
         self.config = self.blobseer.config
         self.namespace = NamespaceManager()
-        self._ns_slot = Resource(self.env, capacity=1)
         self.metrics = Metrics()
-        self._c_ns_rpcs = self.obs.registry.counter("ns.rpcs")
-
-    # -- namespace RPC ---------------------------------------------------------
-
-    def _ns_call(
-        self,
-        fn,
-        op: str = "call",
-        client: Optional[str] = None,
-        parent: Optional[Span] = None,
-    ) -> Event:
-        """Round trip to the namespace manager (serialized service)."""
-        self._c_ns_rpcs.inc()
-        done = self._ns_slot.round_trip(
-            self.cluster.config.latency,
-            self.cluster.config.namespace_rpc_time,
-            fn,
+        self.engine = self.blobseer.engine
+        self.engine.bind(
+            "ns", self.namespace, cluster.config.namespace_rpc_time
         )
-        if self.obs.tracer.enabled:
-            sp = self.obs.tracer.start(
-                f"ns.{op}", cat="bsfs.ns", parent=parent, track=client
-            )
-            done.callbacks.append(lambda ev: sp.finish() if ev._ok else None)
-        return done
+        self.protocol = BSFSProtocol(
+            self.engine,
+            self.blobseer.protocol,
+            obs=self.obs,
+            metrics=self.metrics,
+        )
 
     # -- file operations -----------------------------------------------------------
 
     def create_proc(self, client: str, path: str) -> Generator[Event, None, int]:
         """Create an empty file backed by a fresh BLOB; returns blob id."""
-        sp = self.obs.tracer.start(
-            "bsfs.create", cat="bsfs", track=client, path=path
-        )
         blob_id = self.blobseer.create_blob()
-        yield self._ns_call(
-            lambda: self.namespace.create(path, blob_id, self.config.page_size),
-            op="create",
-            client=client,
-            parent=sp,
+        yield from self.protocol.create_file(
+            client, path, blob_id, self.config.page_size
         )
-        sp.finish(blob=blob_id)
         return blob_id
 
     def append_proc(
         self, client: str, path: str, nbytes: int
     ) -> Generator[Event, None, int]:
-        """The paper's two-step append: BLOB append + namespace size update.
-
-        Returns the BLOB version generated.
-        """
-        start = self.env.now
-        sp = self.obs.tracer.start(
-            "bsfs.append", cat="bsfs", track=client, path=path, nbytes=nbytes
+        """The paper's two-step append (BLOB append + namespace size
+        update); returns the BLOB version generated."""
+        version = yield from self.protocol.append_file(
+            client, path, Payload(nbytes=nbytes)
         )
-        record = yield self._ns_call(
-            lambda: self.namespace.get(path),
-            op="lookup",
-            client=client,
-            parent=sp,
-        )
-        version = yield from self.blobseer.append_proc(
-            client, record.blob_id, nbytes, record=False, parent=sp
-        )
-        # the appender learns its end offset from the version it created
-        size = self.blobseer.core.get_version(record.blob_id, version).size
-        yield self._ns_call(
-            lambda: self.namespace.update_size(path, size),
-            op="update_size",
-            client=client,
-            parent=sp,
-        )
-        sp.finish(version=version)
-        self.metrics.record(client, "append", start, self.env.now, nbytes)
         return version
 
     def read_proc(
         self, client: str, path: str, offset: int, nbytes: int
     ) -> Generator[Event, None, int]:
         """Read a file range; returns the BLOB version served."""
-        start = self.env.now
-        sp = self.obs.tracer.start(
-            "bsfs.read",
-            cat="bsfs",
-            track=client,
-            path=path,
-            offset=offset,
-            nbytes=nbytes,
+        version, _data = yield from self.protocol.read_file(
+            client, path, offset, nbytes
         )
-        record = yield self._ns_call(
-            lambda: self.namespace.get(path),
-            op="lookup",
-            client=client,
-            parent=sp,
-        )
-        version = yield from self.blobseer.read_proc(
-            client, record.blob_id, offset, nbytes, record=False, parent=sp
-        )
-        sp.finish(version=version)
-        self.metrics.record(client, "read", start, self.env.now, nbytes)
         return version
 
     # -- experiment plumbing -----------------------------------------------------------
 
     def preload(self, path: str, nbytes: int) -> None:
-        """Instantly materialize a file of *nbytes* (control plane only).
-
-        Used to set up the read side of the microbenchmarks without
-        simulating the (irrelevant) load phase: pages are placed by the
-        provider manager and a version-1 segment tree is built, but no
-        simulated time passes.
-        """
+        """Instantly materialize a file of *nbytes* (control plane only):
+        pages are placed and a version-1 segment tree is built, but no
+        simulated time passes — sets up the read-side benchmarks."""
         core = self.blobseer.core
         ps = self.config.page_size
         if not self.namespace.exists(path):

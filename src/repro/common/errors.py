@@ -29,6 +29,16 @@ class ProviderUnavailableError(StorageError):
     """A provider/datanode was unreachable or declared failed."""
 
 
+class RpcTimeoutError(StorageError):
+    """An RPC to a crashed or unreachable node timed out.
+
+    Raised by the engines' data-plane primitives so the shared protocol
+    cores see one failure shape under both runtimes: the DES engine
+    charges the timeout in simulated time, the threaded engine maps a
+    provider's refusal onto it immediately.
+    """
+
+
 class ReplicationError(StorageError):
     """Fewer replicas than required could be written."""
 

@@ -1,0 +1,309 @@
+"""The discrete-event engine: protocol ops as simulation kernel events.
+
+Every op returned by this engine is a live :class:`~repro.sim.core.Event`
+scheduled against the shared cluster physics, so protocol generators run
+directly under ``env.process`` — ``yield op`` is a native kernel wait.
+
+Cost model (unchanged from the pre-engine simulated clients):
+
+* ``call`` — one charged round trip (latency + FIFO service at the
+  endpoint's one-slot resource);
+* ``store`` — a network transfer client→endpoint, acknowledged on
+  receipt, with asynchronous disk persistence (fire-and-forget);
+* ``fetch`` — endpoint disk (or page-cache) service chained into the
+  network transfer back to the client;
+* ``charge_md`` — batched fan-out over the per-owner metadata slots;
+* down endpoints fail ``store``/``fetch`` with
+  :class:`~repro.common.errors.RpcTimeoutError` after the retry
+  policy's ``rpc_timeout`` of simulated time, and crashed metadata
+  owners go through the timeout/backoff retry loop.
+
+The fault-free fast paths (``ship_many``/``gather``) batch whole page
+fan-outs through ``network.transfer_many`` so same-instant replica churn
+coalesces into one reallocation; ``faults_active`` stays ``False`` (and
+the cores on those fast paths) until the first injected fault.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Set, Tuple
+
+from ..common.errors import ProviderUnavailableError, RpcTimeoutError
+from ..common.rng import substream
+from ..faults.plan import RetryPolicy
+from ..obs import NULL_OBS, Observability
+from ..sim.cluster import SimCluster
+from ..sim.core import Event
+from ..sim.resources import Resource, batch_round_trips
+from .base import Engine, Payload
+
+
+class _Control:
+    """One bound control endpoint: adapter + serialized service slot."""
+
+    __slots__ = ("adapter", "slot", "service")
+
+    def __init__(self, adapter: Any, slot: Resource, service: float) -> None:
+        self.adapter = adapter
+        self.slot = slot
+        self.service = service
+
+
+class DesEngine(Engine):
+    """Engine over a :class:`~repro.sim.cluster.SimCluster`."""
+
+    def __init__(
+        self, cluster: SimCluster, obs: Optional[Observability] = None
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.obs = obs or NULL_OBS
+        if self.obs.tracer.enabled:
+            # spans carry simulated timestamps; rebasing keeps successive
+            # deployments sequential in one trace
+            env = self.env
+            self.obs.tracer.use_clock(lambda: env.now)
+        self.retry = RetryPolicy.from_cluster(cluster.config)
+        self._seed = cluster.config.seed
+        self._control: dict[str, _Control] = {}
+        self._md_slots: List[Resource] = []
+        self._down: Set[str] = set()
+        self._down_md: Set[int] = set()
+        self._faults_on = False
+        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, name: str, adapter: Any, service_time: float) -> None:
+        """Register a control endpoint served one RPC at a time."""
+        self._control[name] = _Control(
+            adapter, Resource(self.env, capacity=1), service_time
+        )
+
+    def bind_md(self, n_owners: int) -> None:
+        """Register the metadata providers (one service slot each)."""
+        self._md_slots = [
+            Resource(self.env, capacity=1) for _ in range(n_owners)
+        ]
+
+    def control_slot(self, name: str) -> Resource:
+        """The endpoint's service slot (for legacy direct round trips)."""
+        return self._control[name].slot
+
+    # -- fault state --------------------------------------------------------
+
+    def fail_endpoint(self, name: str) -> None:
+        self._down.add(name)
+        self._faults_on = True
+
+    def recover_endpoint(self, name: str) -> None:
+        self._down.discard(name)
+
+    def fail_md(self, index: int) -> None:
+        self._down_md.add(index)
+        self._faults_on = True
+
+    def recover_md(self, index: int) -> None:
+        self._down_md.discard(index)
+
+    def is_down(self, endpoint: str) -> bool:
+        return endpoint in self._down
+
+    @property
+    def faults_active(self) -> bool:
+        return self._faults_on
+
+    # -- clock / flow -------------------------------------------------------
+
+    def now(self) -> float:
+        return self.env.now
+
+    def sleep(self, dt: float) -> Event:
+        return self.env.timeout(dt)
+
+    def spawn(self, gen: Generator) -> Event:
+        return self.env.process(gen)
+
+    def run(self, gen: Generator) -> Event:
+        """Wrap a protocol generator in a kernel process (its event)."""
+        return self.env.process(gen)
+
+    def rng(self, *names):
+        return substream(self._seed, *names)
+
+    # -- control plane ------------------------------------------------------
+
+    def call(self, endpoint: str, method: str, *args: Any) -> Event:
+        ctl = self._control[endpoint]
+        fn = getattr(ctl.adapter, method)
+        return ctl.slot.round_trip(
+            self.cluster.config.latency, ctl.service, lambda: fn(*args)
+        )
+
+    def wait(self, endpoint: str, method: str, *args: Any) -> Event:
+        """Uncharged wait: the adapter may hand back a condition event."""
+        out = getattr(self._control[endpoint].adapter, method)(*args)
+        if isinstance(out, Event):
+            return out
+        ev = Event(self.env)
+        ev.succeed(out)
+        return ev
+
+    # -- data plane ---------------------------------------------------------
+
+    def _timeout_fail(self, what: str) -> Event:
+        """An op that fails with a charged RPC timeout."""
+        self._c_rpc_timeouts.inc()
+        ev = Event(self.env)
+        self.env.call_in(
+            self.retry.rpc_timeout,
+            lambda: ev.fail(RpcTimeoutError(f"{what} timed out")),
+        )
+        return ev
+
+    def store(
+        self, client: str, endpoint: str, page_id: Any, payload: Payload
+    ) -> Event:
+        if endpoint in self._down:
+            return self._timeout_fail(f"store to {endpoint}")
+        nbytes = len(payload)
+        t = self.cluster.network.transfer(client, endpoint, nbytes)
+
+        def persist(ev: Event) -> None:
+            if ev._ok:
+                # asynchronous persistence; disk contention accrues
+                self.cluster.node(endpoint).disk.write(nbytes, notify=False)
+
+        t.callbacks.append(persist)
+        return t
+
+    def fetch(
+        self,
+        client: str,
+        endpoint: str,
+        page_id: Any,
+        data_offset: int,
+        nbytes: int,
+    ) -> Event:
+        if endpoint in self._down:
+            return self._timeout_fail(f"fetch from {endpoint}")
+        done = Event(self.env)
+
+        def off_disk(ev: Event) -> None:
+            if not ev._ok:
+                done.fail(ev._value)
+                return
+            t = self.cluster.network.transfer(endpoint, client, nbytes)
+            t.callbacks.append(
+                lambda tv: done.succeed(None)
+                if tv._ok
+                else done.fail(tv._value)
+            )
+
+        self.cluster.node(endpoint).disk.read(nbytes).callbacks.append(off_disk)
+        return done
+
+    def charge_md(self, owners: Sequence[int]) -> Event:
+        done = Event(self.env)
+        if not owners:
+            done.succeed(None)
+            return done
+        cfg = self.cluster.config
+        if self._faults_on and any(o in self._down_md for o in owners):
+            # down owners go through the timeout/retry path; the rest
+            # batch as usual
+            events: List[Event] = [
+                self.env.process(self._md_retry(o))
+                for o in owners
+                if o in self._down_md
+            ]
+            alive = [o for o in owners if o not in self._down_md]
+            if alive:
+                sub = Event(self.env)
+                batch_round_trips(
+                    [self._md_slots[o] for o in alive],
+                    cfg.latency,
+                    cfg.metadata_rpc_time,
+                    sub,
+                )
+                events.append(sub)
+            return self.env.all_of(events)
+        batch_round_trips(
+            [self._md_slots[o] for o in owners],
+            cfg.latency,
+            cfg.metadata_rpc_time,
+            done,
+        )
+        return done
+
+    def _md_rpc(self, owner: int) -> Event:
+        """One metadata RPC at provider *owner*: latency + queued service."""
+        return self._md_slots[owner].round_trip(
+            self.cluster.config.latency, self.cluster.config.metadata_rpc_time
+        )
+
+    def _md_retry(self, owner: int) -> Generator[Event, None, None]:
+        """One metadata RPC with timeout + capped-backoff retries, for a
+        possibly-crashed owner."""
+        policy = self.retry
+        for attempt in range(policy.max_attempts):
+            if owner in self._down_md:
+                self._c_rpc_timeouts.inc()
+                yield self.env.timeout(policy.rpc_timeout)
+                if attempt + 1 < policy.max_attempts:
+                    yield self.env.timeout(policy.backoff(attempt))
+            else:
+                yield self._md_rpc(owner)
+                return
+        raise ProviderUnavailableError(
+            f"metadata provider {owner} is down (gave up after "
+            f"{policy.max_attempts} attempts)"
+        )
+
+    # -- batch fast paths ---------------------------------------------------
+
+    def ship_many(
+        self,
+        client: str,
+        placements: Sequence[Sequence[str]],
+        sizes: Sequence[int],
+    ) -> List[Event]:
+        """Batch-ship pages to their replicas (ack on receipt).
+
+        Every ``(page, replica)`` transfer starts through the network's
+        batch API, so the whole fan-out costs one coalesced reallocation
+        instead of one per replica. Each returned event fires when that
+        page's last replica has the bytes; persistence is asynchronous.
+        """
+        flat = self.cluster.network.transfer_many(
+            (client, prov, nbytes)
+            for providers, nbytes in zip(placements, sizes)
+            for prov in providers
+        )
+        out: List[Event] = []
+        pos = 0
+        for providers, nbytes in zip(placements, sizes):
+            transfers = flat[pos : pos + len(providers)]
+            pos += len(providers)
+            # single replica (the default): no fan-in barrier needed
+            done = (
+                transfers[0]
+                if len(transfers) == 1
+                else self.env.all_of(transfers)
+            )
+
+            def persist(
+                ev: Event,
+                providers: Sequence[str] = providers,
+                nbytes: int = nbytes,
+            ) -> None:
+                if ev._ok:
+                    for prov in providers:
+                        self.cluster.node(prov).disk.write(nbytes, notify=False)
+
+            done.callbacks.append(persist)
+            out.append(done)
+        return out
+
+    def gather(self, ops: List[Event]) -> Event:
+        return self.env.all_of(ops)

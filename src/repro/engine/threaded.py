@@ -1,0 +1,187 @@
+"""The threaded engine: protocol ops as lazy thunks on wall clock.
+
+Ops are :class:`_Op` values — deferred calls resolved by the synchronous
+trampoline in :meth:`ThreadedEngine.run`. Nothing happens when an op is
+*created*; the trampoline evaluates it when the protocol generator
+yields it and sends the result (or throws the exception) back in. That
+keeps op-creation order identical to the DES engine, which is what the
+parity suite compares.
+
+Thread safety comes from the bound components (the threaded version
+manager, provider stores, the namespace), not from the engine: each
+caller thread drives its own generator through its own trampoline.
+
+A provider that refuses service (:class:`ProviderUnavailableError`) is
+surfaced to the cores as :class:`RpcTimeoutError` — the same failure
+shape the DES engine produces for a crashed node — and counted on the
+``net.rpc_timeouts`` counter so the threaded runtime exposes the same
+fault telemetry as the simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Generator, Optional, Sequence, Set
+
+from ..common.errors import ProviderUnavailableError, RpcTimeoutError
+from ..common.rng import substream
+from ..faults.plan import RetryPolicy
+from ..obs import NULL_OBS, Observability
+from .base import Engine, Payload
+
+#: Backoff magnitudes for the in-process runtime: the same sweep shape
+#: as the simulator's policy, but over wall milliseconds instead of
+#: simulated seconds, so an all-replicas-down sweep costs ~0.1 s of real
+#: time rather than multiple seconds.
+THREADED_RETRY = RetryPolicy(
+    rpc_timeout=0.5, base_delay=0.005, max_delay=0.05, max_attempts=6
+)
+
+
+class _Op:
+    """A deferred engine action; resolved only by the trampoline."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self.fn = fn
+
+
+_NOOP = _Op(lambda: None)
+
+
+class ThreadedEngine(Engine):
+    """Engine over in-process components and the wall clock."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.obs = obs or NULL_OBS
+        self.retry = retry or THREADED_RETRY
+        self._seed = seed
+        self._control: dict[str, Any] = {}
+        # endpoint -> (store_fn(page_id, data), load_fn(page_id, off, n))
+        self._data: dict[str, tuple] = {}
+        self._down: Set[str] = set()
+        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, name: str, adapter: Any) -> None:
+        """Register a control endpoint (calls run in the caller thread)."""
+        self._control[name] = adapter
+
+    def bind_data(
+        self,
+        name: str,
+        store_fn: Callable[[Any, bytes], Any],
+        load_fn: Callable[[Any, int, int], bytes],
+    ) -> None:
+        """Register a data endpoint's store/load entry points."""
+        self._data[name] = (store_fn, load_fn)
+
+    # -- fault state --------------------------------------------------------
+
+    def fail_endpoint(self, name: str) -> None:
+        self._down.add(name)
+
+    def recover_endpoint(self, name: str) -> None:
+        self._down.discard(name)
+
+    def is_down(self, endpoint: str) -> bool:
+        return endpoint in self._down
+
+    @property
+    def faults_active(self) -> bool:
+        # real components fail organically; the cores must always take
+        # the failure-tolerant paths
+        return True
+
+    # -- clock / flow -------------------------------------------------------
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, dt: float) -> _Op:
+        return _Op(lambda: time.sleep(dt))
+
+    def spawn(self, gen: Generator) -> _Op:
+        # no scheduler to hand off to: the sub-generator runs to
+        # completion when the op resolves
+        return _Op(lambda: self.run(gen))
+
+    def run(self, gen: Generator) -> Any:
+        """The trampoline: drive *gen* to completion in this thread."""
+        try:
+            op = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            try:
+                value = op.fn()
+            except BaseException as exc:  # noqa: BLE001 - re-thrown into gen
+                try:
+                    op = gen.throw(exc)
+                except StopIteration as stop:
+                    return stop.value
+            else:
+                try:
+                    op = gen.send(value)
+                except StopIteration as stop:
+                    return stop.value
+
+    def rng(self, *names):
+        return substream(self._seed, *names)
+
+    # -- control plane ------------------------------------------------------
+
+    def call(self, endpoint: str, method: str, *args: Any) -> _Op:
+        adapter = self._control[endpoint]
+        return _Op(lambda: getattr(adapter, method)(*args))
+
+    def wait(self, endpoint: str, method: str, *args: Any) -> _Op:
+        # a wait is just a blocking call here; the charged/uncharged
+        # distinction only exists under the simulator's cost model
+        return self.call(endpoint, method, *args)
+
+    # -- data plane ---------------------------------------------------------
+
+    def store(
+        self, client: str, endpoint: str, page_id: Any, payload: Payload
+    ) -> _Op:
+        store_fn = self._data[endpoint][0]
+
+        def do() -> None:
+            try:
+                store_fn(page_id, payload.data)
+            except ProviderUnavailableError as exc:
+                self._c_rpc_timeouts.inc()
+                raise RpcTimeoutError(str(exc)) from exc
+
+        return _Op(do)
+
+    def fetch(
+        self,
+        client: str,
+        endpoint: str,
+        page_id: Any,
+        data_offset: int,
+        nbytes: int,
+    ) -> _Op:
+        load_fn = self._data[endpoint][1]
+
+        def do() -> bytes:
+            try:
+                return load_fn(page_id, data_offset, nbytes)
+            except ProviderUnavailableError as exc:
+                self._c_rpc_timeouts.inc()
+                raise RpcTimeoutError(str(exc)) from exc
+
+        return _Op(do)
+
+    def charge_md(self, owners: Sequence[int]) -> _Op:
+        # the DHT is in-process: metadata RPCs cost nothing here
+        return _NOOP

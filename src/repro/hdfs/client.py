@@ -1,31 +1,19 @@
 """HDFS client: the :class:`~repro.common.fs.FileSystem` implementation.
 
-Reproduces the client-side behaviours the paper calls out:
-
-* **write buffering** — "Clients buffer all write operations until the
-  data reaches the size of a chunk (64MB)"; only then is a chunk
-  allocated at the namenode and shipped to datanodes;
-* **readahead** — "when HDFS receives a read request for a small block,
-  it prefetches the entire chunk that contains the required block";
-* **no append** — :meth:`HDFSFileSystem.append` raises
-  :class:`~repro.common.errors.AppendNotSupportedError`;
-* single writer, write-once-read-many.
+A shim over :mod:`repro.hdfs.protocol` on the threaded engine. The
+behaviours the paper calls out — chunk-granularity write buffering,
+whole-chunk readahead, **no append**, single writer — live in the
+protocol's stream cores; the streams here keep only locking and
+lifecycle.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from ..common.config import HDFSConfig
-from ..common.errors import (
-    AppendNotSupportedError,
-    FileClosedError,
-    PageNotFoundError,
-    ProviderUnavailableError,
-    ReplicationError,
-)
+from ..common.errors import FileClosedError
 from ..common.fs import (
     BlockLocation,
     FileStatus,
@@ -34,10 +22,11 @@ from ..common.fs import (
     OutputStream,
     normalize_path,
 )
-from ..common.rng import substream
-from .block import BlockId, BlockInfo
+from ..engine.threaded import ThreadedEngine
+from ..obs import NULL_OBS, Observability
 from .datanode import DataNode
 from .namenode import INodeFile, NameNode
+from .protocol import BlockReadCore, ChunkStreamCore, HDFSProtocol
 
 
 class HDFSCluster:
@@ -48,13 +37,28 @@ class HDFSCluster:
         n_datanodes: int = 4,
         config: Optional[HDFSConfig] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or HDFSConfig()
         self.config.validate()
         self.seed = seed
+        self.obs = obs or NULL_OBS
         names = [f"datanode-{i:03d}" for i in range(n_datanodes)]
         self.datanodes: Dict[str, DataNode] = {n: DataNode(n) for n in names}
         self.namenode = NameNode(names, config=self.config, seed=seed)
+        self.engine = ThreadedEngine(seed=seed, obs=self.obs)
+        self.engine.bind("nn", self.namenode)
+        for name in names:
+            # resolve through the dict at call time so restarted
+            # datanode objects are picked up
+            self.engine.bind_data(
+                name,
+                lambda bid, data, n=name: self.datanodes[n].put_block(bid, data),
+                lambda bid, off, sz, n=name: self.datanodes[n].get_block(
+                    bid, off, sz
+                ),
+            )
+        self.protocol = HDFSProtocol(self.engine, self.config)
 
     def file_system(self, client_name: str = "client") -> "HDFSFileSystem":
         """A client endpoint bound to this deployment."""
@@ -64,10 +68,12 @@ class HDFSCluster:
         """Fault injection: crash a datanode and exclude it from placement."""
         self.datanodes[name].fail()
         self.namenode.mark_down(name)
+        self.engine.fail_endpoint(name)
 
     def recover_datanode(self, name: str) -> None:
         self.datanodes[name].recover()
         self.namenode.mark_up(name)
+        self.engine.recover_endpoint(name)
 
 
 class HDFSFileSystem(FileSystem):
@@ -121,67 +127,6 @@ class HDFSFileSystem(FileSystem):
     ) -> List[BlockLocation]:
         return self.cluster.namenode.get_block_locations(path, offset, length)
 
-    # -- datanode I/O helpers -----------------------------------------------------------
-
-    def _write_block(
-        self, path: str, data: bytes
-    ) -> None:
-        """Allocate a chunk at the namenode and ship it to every replica."""
-        nn = self.cluster.namenode
-        block_id, targets = nn.allocate_block(path, self.client_name)
-        stored: List[str] = []
-        for name in targets:
-            node = self.cluster.datanodes[name]
-            try:
-                node.put_block(block_id, data)
-                stored.append(name)
-            except ProviderUnavailableError:
-                nn.mark_down(name)
-        if not stored:
-            raise ReplicationError(f"chunk {block_id} stored nowhere")
-        nn.commit_block(path, self.client_name, block_id, len(data), tuple(stored))
-
-    def _read_block_range(
-        self,
-        block: BlockInfo,
-        offset: int,
-        size: int,
-        dead: Optional[Set[str]] = None,
-        start: int = 0,
-    ) -> bytes:
-        """Read a range of one chunk, falling back across replicas.
-
-        *start* rotates the replica tried first (so readers spread over
-        replicas instead of hammering placement order); datanodes in
-        *dead* are tried last and the set is updated in place, giving the
-        owning stream a dead-replica memory for its lifetime.
-        """
-        n = len(block.datanodes)
-        order = [block.datanodes[(start + i) % n] for i in range(n)]
-        if dead:
-            order.sort(key=lambda name: name in dead)
-        last_exc: Exception | None = None
-        for name in order:
-            node = self.cluster.datanodes.get(name)
-            if node is None:
-                continue
-            try:
-                data = node.get_block(block.block_id, offset, size)
-            except ProviderUnavailableError as exc:
-                if dead is not None:
-                    dead.add(name)
-                last_exc = exc
-            except PageNotFoundError as exc:
-                # the datanode answered: alive, just missing the chunk
-                last_exc = exc
-            else:
-                if dead is not None:
-                    dead.discard(name)
-                return data
-        raise ReplicationError(
-            f"no replica of chunk {block.block_id} is readable"
-        ) from last_exc
-
 
 class HDFSOutputStream(OutputStream):
     """Write stream with chunk-granularity client buffering."""
@@ -189,43 +134,31 @@ class HDFSOutputStream(OutputStream):
     def __init__(self, fs: HDFSFileSystem, path: str) -> None:
         self.fs = fs
         self.path = path
-        self._buffer = bytearray()
-        self._written = 0
         self._closed = False
         self._lock = threading.Lock()
-        self._chunk_size = fs.cluster.config.chunk_size
-        self._buffer_limit = min(fs.cluster.config.write_buffer, self._chunk_size)
+        self._core = ChunkStreamCore(fs.cluster.protocol, fs.client_name, path)
 
     def write(self, data: bytes) -> int:
         with self._lock:
             self._check_open()
-            self._buffer += data
-            self._written += len(data)
-            while len(self._buffer) >= self._buffer_limit:
-                chunk = bytes(self._buffer[: self._buffer_limit])
-                del self._buffer[: self._buffer_limit]
-                self.fs._write_block(self.path, chunk)
+            self.fs.cluster.engine.run(self._core.write(data))
             return len(data)
 
     def flush(self) -> None:
-        """A no-op by design: HDFS only ships full chunks (plus the final
-        partial chunk at close) — flushing mid-chunk is not supported by
-        the write-once model."""
+        """A no-op by design: HDFS only ships full chunks (plus the
+        final partial chunk at close)."""
         with self._lock:
             self._check_open()
 
     def tell(self) -> int:
         with self._lock:
-            return self._written
+            return self._core.written
 
     def close(self) -> None:
         with self._lock:
             if self._closed:
                 return
-            if self._buffer:
-                self.fs._write_block(self.path, bytes(self._buffer))
-                self._buffer.clear()
-            self.fs.cluster.namenode.complete(self.path, self.fs.client_name)
+            self.fs.cluster.engine.run(self._core.close())
             self._closed = True
 
     def discard(self) -> None:
@@ -233,7 +166,7 @@ class HDFSOutputStream(OutputStream):
         with self._lock:
             if self._closed:
                 return
-            self._buffer.clear()
+            self._core.buffer.clear()
             self.fs.cluster.namenode.abandon(self.path, self.fs.client_name)
             self._closed = True
 
@@ -248,116 +181,63 @@ class HDFSInputStream(InputStream):
     def __init__(self, fs: HDFSFileSystem, path: str, inode: INodeFile) -> None:
         self.fs = fs
         self.path = path
-        self._blocks = list(inode.blocks)
-        self._offsets: List[int] = []
-        pos = 0
-        for b in self._blocks:
-            self._offsets.append(pos)
-            pos += b.length
-        self._size = pos
         self._pos = 0
         self._closed = False
         self._lock = threading.Lock()
-        # readahead cache: (block index, chunk bytes)
-        self._cached: Optional[Tuple[int, bytes]] = None
-        #: lifetime counter of datanode fetches (readahead effectiveness)
-        self.fetches = 0
-        # replica rotation: seeded per-stream phase, stepped per fetch
-        self._replica_rr = itertools.count(
-            int(
-                substream(
-                    fs.cluster.seed, "hdfs-read", fs.client_name, path
-                ).integers(1 << 30)
-            )
+        self._core = BlockReadCore(
+            fs.cluster.protocol,
+            fs.client_name,
+            path,
+            inode.blocks,
+            fs.cluster.config.readahead,
         )
-        #: datanodes seen failing, remembered for this stream's lifetime
-        self._dead: Set[str] = set()
+
+    @property
+    def _dead(self):
+        """Datanodes this stream has seen failing (sweep-last memory)."""
+        return self._core.selector.dead
+
+    @property
+    def fetches(self) -> int:
+        """Lifetime counter of datanode fetches (readahead effectiveness)."""
+        return self._core.fetches
+
+    @property
+    def size(self) -> int:
+        """Total file size."""
+        return self._core.size
 
     # -- positioning -----------------------------------------------------------------
 
     def seek(self, offset: int) -> None:
         with self._lock:
             self._check_open()
-            if offset < 0 or offset > self._size:
-                raise ValueError(f"seek to {offset} outside [0, {self._size}]")
+            if offset < 0 or offset > self._core.size:
+                raise ValueError(f"seek to {offset} outside [0, {self._core.size}]")
             self._pos = offset
 
     def tell(self) -> int:
         with self._lock:
             return self._pos
 
-    @property
-    def size(self) -> int:
-        """Total file size."""
-        return self._size
-
     # -- reads ------------------------------------------------------------------------
 
     def read(self, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            data = self._pread_locked(self._pos, n)
+            data = self.fs.cluster.engine.run(self._core.pread(self._pos, n))
             self._pos += len(data)
             return data
 
     def pread(self, offset: int, n: int) -> bytes:
         with self._lock:
             self._check_open()
-            return self._pread_locked(offset, n)
-
-    def _pread_locked(self, offset: int, n: int) -> bytes:
-        if n < 0:
-            raise ValueError("negative read size")
-        if offset >= self._size or n == 0:
-            return b""
-        n = min(n, self._size - offset)
-        pieces: List[bytes] = []
-        remaining = n
-        pos = offset
-        while remaining > 0:
-            index = self._block_index(pos)
-            block = self._blocks[index]
-            base = self._offsets[index]
-            in_block = pos - base
-            take = min(remaining, block.length - in_block)
-            pieces.append(self._read_from_block(index, in_block, take))
-            pos += take
-            remaining -= take
-        return b"".join(pieces)
-
-    def _block_index(self, pos: int) -> int:
-        # binary search over block start offsets
-        lo, hi = 0, len(self._blocks) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self._offsets[mid] <= pos:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo
-
-    def _read_from_block(self, index: int, offset: int, size: int) -> bytes:
-        block = self._blocks[index]
-        if self._cached is not None and self._cached[0] == index:
-            return self._cached[1][offset : offset + size]
-        if self.fs.cluster.config.readahead:
-            # prefetch the entire chunk containing the requested range
-            chunk = self.fs._read_block_range(
-                block, 0, block.length,
-                dead=self._dead, start=next(self._replica_rr),
-            )
-            self.fetches += 1
-            self._cached = (index, chunk)
-            return chunk[offset : offset + size]
-        self.fetches += 1
-        return self.fs._read_block_range(
-            block, offset, size, dead=self._dead, start=next(self._replica_rr)
-        )
+            return self.fs.cluster.engine.run(self._core.pread(offset, n))
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
-            self._cached = None
+            self._core.cached = None
 
     def _check_open(self) -> None:
         if self._closed:

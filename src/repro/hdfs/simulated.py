@@ -1,28 +1,28 @@
-"""Simulated HDFS — the baseline's performance model on the DES cluster.
+"""Simulated HDFS — a shim over the protocol core on the DES engine.
 
 The real (threaded) :class:`~repro.hdfs.namenode.NameNode` is reused as
-the control plane — its calls execute instantly inside simulated
-processes, while each call is *charged* as a serialized RPC at the
-dedicated namenode machine. The data plane (chunk transfers, datanode
-disks) flows through the shared network/disk models, so HDFS and BSFS
-contend under identical physics in head-to-head experiments.
+the control plane — bound to the engine as the ``nn`` endpoint, its
+calls execute instantly inside simulated processes while each is
+*charged* as a serialized RPC at the dedicated namenode machine. The
+data plane (chunk transfers, datanode disks) flows through the shared
+network/disk models, so HDFS and BSFS contend under identical physics
+in head-to-head experiments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Sequence, Set, Tuple
+from typing import Generator, Optional, Tuple
 
 from ..common.config import HDFSConfig
-from ..common.errors import ReplicationError
-from ..common.rng import substream
-from ..faults.plan import RetryPolicy
+from ..engine.base import Payload
+from ..engine.des import DesEngine
 from ..obs import NULL_OBS, Observability
 from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
-from ..sim.resources import Resource
 from .namenode import NameNode
+from .protocol import HDFSProtocol
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,15 +57,15 @@ class SimHDFS:
         self.namenode = NameNode(
             list(roles.datanodes), config=self.config, seed=cluster.config.seed
         )
-        self._nn_slot = Resource(self.env, capacity=1)
         self.metrics = Metrics()
-        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
-        # fault-injection state: crashed datanodes, and a flag that keeps
-        # the fault-free fast paths branch-free until the first injection
-        self._down: Set[str] = set()
-        self._faults_on = False
-        self.retry = RetryPolicy.from_cluster(cluster.config)
-        self._read_rng = substream(cluster.config.seed, "hdfs", "replica-rotation")
+        self.engine = DesEngine(cluster, obs=self.obs)
+        self.engine.bind(
+            "nn", self.namenode, cluster.config.namespace_rpc_time
+        )
+        self.retry = self.engine.retry
+        self.protocol = HDFSProtocol(
+            self.engine, self.config, metrics=self.metrics
+        )
 
     # -- fault injection -----------------------------------------------------------
 
@@ -73,152 +73,28 @@ class SimHDFS:
         """Crash a datanode: excluded from placement, reads must fail over."""
         if name not in self.roles.datanodes:
             raise ValueError(f"unknown datanode {name!r}")
-        self._down.add(name)
         self.namenode.mark_down(name)
-        self._faults_on = True
+        self.engine.fail_endpoint(name)
 
     def recover_datanode(self, name: str) -> None:
-        self._down.discard(name)
         self.namenode.mark_up(name)
-
-    # -- namenode RPC ------------------------------------------------------------
-
-    def _nn_call(self, fn) -> Event:
-        """Round trip to the namenode (serialized service)."""
-        return self._nn_slot.round_trip(
-            self.cluster.config.latency,
-            self.cluster.config.namespace_rpc_time,
-            fn,
-        )
+        self.engine.recover_endpoint(name)
 
     # -- file operations ------------------------------------------------------------
 
     def write_file_proc(
         self, client: str, path: str, nbytes: int
     ) -> Generator[Event, None, None]:
-        """Create + write + close a file of *nbytes* from *client*.
-
-        The client buffers chunk-by-chunk (64 MB) and ships each chunk to
-        its randomly placed replicas; datanodes persist asynchronously,
-        like the providers (both systems buffer writes in memory).
-        """
-        if nbytes <= 0:
-            raise ValueError("write of zero bytes")
-        start = self.env.now
-        yield self._nn_call(lambda: self.namenode.create(path, client))
-        remaining = nbytes
-        while remaining > 0:
-            chunk = min(self.config.chunk_size, remaining)
-            remaining -= chunk
-            block_id, targets = yield self._nn_call(
-                lambda: self.namenode.allocate_block(path, client)
-            )
-            if self._faults_on:
-                # targets may have crashed between allocation and shipping;
-                # drop them, and re-allocate (with backoff) if none survive.
-                # Abandoned allocations are harmless: block ids are derived
-                # from the committed block count, not reserved state.
-                sweep = 0
-                while not (alive := tuple(t for t in targets if t not in self._down)):
-                    if sweep >= self.retry.max_attempts:
-                        raise ReplicationError(
-                            f"chunk of {path} could not be placed: "
-                            "all allocated datanodes are down"
-                        )
-                    yield self.env.timeout(self.retry.backoff(sweep))
-                    sweep += 1
-                    block_id, targets = yield self._nn_call(
-                        lambda: self.namenode.allocate_block(path, client)
-                    )
-                targets = alive
-            # replication fan-out: all replicas start at the same instant,
-            # so batch them into one coalesced reallocation
-            transfers = self.cluster.network.transfer_many(
-                (client, dn, chunk) for dn in targets
-            )
-            yield self.env.all_of(transfers)
-            for dn in targets:
-                # async persistence: fire-and-forget, no completion event
-                self.cluster.node(dn).disk.write(chunk, notify=False)
-            yield self._nn_call(
-                lambda bid=block_id, t=targets, c=chunk: self.namenode.commit_block(
-                    path, client, bid, c, t
-                )
-            )
-        yield self._nn_call(lambda: self.namenode.complete(path, client))
-        self.metrics.record(client, "write", start, self.env.now, nbytes)
+        """Create + write + close a file of *nbytes* from *client*,
+        buffered chunk-by-chunk (64 MB) to randomly placed replicas."""
+        yield from self.protocol.write_file(client, path, Payload(nbytes=nbytes))
 
     def read_proc(
         self, client: str, path: str, offset: int, nbytes: int
     ) -> Generator[Event, None, None]:
         """Read a byte range: one namenode location RPC, then parallel
         chunk fetches (datanode disk/page-cache + network)."""
-        if nbytes <= 0:
-            raise ValueError("read of zero bytes")
-        start = self.env.now
-        locations = yield self._nn_call(
-            lambda: self.namenode.get_block_locations(path, offset, nbytes)
-        )
-        fetchers = []
-        for loc in locations:
-            lo = max(offset, loc.offset)
-            hi = min(offset + nbytes, loc.offset + loc.length)
-            if hi <= lo:
-                continue
-            if self._faults_on:
-                fetchers.append(
-                    self.env.process(
-                        self._fetch_retry(client, loc.hosts, hi - lo)
-                    )
-                )
-            else:
-                fetchers.append(self._fetch(client, loc.hosts[0], hi - lo))
-        yield self.env.all_of(fetchers)
-        self.metrics.record(client, "read", start, self.env.now, nbytes)
-
-    def _fetch(self, client: str, datanode: str, nbytes: int) -> Event:
-        """Datanode disk/page-cache service, then the network transfer;
-        the returned event fires when the bytes reach the client."""
-        done = Event(self.env)
-
-        def off_disk(ev: Event) -> None:
-            if not ev._ok:
-                done.fail(ev._value)
-                return
-            t = self.cluster.network.transfer(datanode, client, nbytes)
-            t.callbacks.append(
-                lambda tv: done.succeed(None)
-                if tv._ok
-                else done.fail(tv._value)
-            )
-
-        self.cluster.node(datanode).disk.read(nbytes).callbacks.append(off_disk)
-        return done
-
-    def _fetch_retry(
-        self, client: str, hosts: Sequence[str], nbytes: int
-    ) -> Generator[Event, None, None]:
-        """Fault-aware fetch: rotate over the chunk's replicas, charging a
-        timeout per attempt on a crashed datanode and backing off between
-        full sweeps."""
-        policy = self.retry
-        hosts = list(hosts)
-        n = len(hosts)
-        start = int(self._read_rng.integers(n)) if n > 1 else 0
-        for attempt in range(policy.max_attempts):
-            dn = hosts[(start + attempt) % n]
-            if dn in self._down:
-                self._c_rpc_timeouts.inc()
-                yield self.env.timeout(policy.rpc_timeout)
-            else:
-                yield self.cluster.node(dn).disk.read(nbytes)
-                yield self.cluster.network.transfer(dn, client, nbytes)
-                return
-            if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
-                yield self.env.timeout(policy.backoff(attempt // n))
-        raise ReplicationError(
-            f"no replica of the chunk is reachable from {client}"
-        )
+        yield from self.protocol.read_range(client, path, offset, nbytes)
 
     # -- experiment plumbing -------------------------------------------------------------
 

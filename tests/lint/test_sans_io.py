@@ -1,0 +1,79 @@
+"""Lint gate: the protocol cores must stay sans-IO.
+
+The whole point of the engine refactor is that
+``repro/{blobseer,hdfs,bsfs}/protocol.py`` (and the engine-shared policy
+modules) contain no runtime bindings: no clock, no threads, no sockets,
+and no reach into the simulation kernel. Every effect must flow through
+the :class:`~repro.engine.base.Engine` the core was handed. This test
+fails CI if anyone re-introduces a direct dependency.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: modules that must remain engine-mediated
+SANS_IO_FILES = [
+    SRC / "blobseer" / "protocol.py",
+    SRC / "hdfs" / "protocol.py",
+    SRC / "bsfs" / "protocol.py",
+    SRC / "engine" / "base.py",
+    SRC / "engine" / "replica.py",
+]
+
+#: stdlib roots that would smuggle a runtime into a protocol core
+FORBIDDEN_ROOTS = {"time", "threading", "concurrent", "socket", "asyncio"}
+
+
+def _violations(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_ROOTS:
+                    found.append(f"{path.name}:{node.lineno} import {alias.name}")
+                if alias.name == "repro.sim" or alias.name.startswith("repro.sim."):
+                    found.append(f"{path.name}:{node.lineno} import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            root = module.split(".")[0]
+            if node.level == 0 and root in FORBIDDEN_ROOTS:
+                found.append(f"{path.name}:{node.lineno} from {module} import ...")
+            if node.level == 0 and (
+                module == "repro.sim" or module.startswith("repro.sim.")
+            ):
+                found.append(f"{path.name}:{node.lineno} from {module} import ...")
+            # relative imports of the sim package (from ..sim import, from .sim import)
+            if node.level > 0 and (module == "sim" or module.startswith("sim.")):
+                found.append(
+                    f"{path.name}:{node.lineno} from {'.' * node.level}{module} "
+                    "import ..."
+                )
+    return found
+
+
+@pytest.mark.parametrize("path", SANS_IO_FILES, ids=lambda p: str(p.relative_to(SRC)))
+def test_protocol_core_is_sans_io(path):
+    assert path.exists(), f"expected sans-IO module missing: {path}"
+    violations = _violations(path)
+    assert not violations, (
+        "protocol cores must not bind a runtime directly "
+        "(route effects through the engine):\n" + "\n".join(violations)
+    )
+
+
+def test_lint_catches_forbidden_imports(tmp_path):
+    """The gate itself works: a poisoned module is flagged."""
+    bad = tmp_path / "poisoned.py"
+    bad.write_text(
+        "import time\n"
+        "from threading import Lock\n"
+        "from ..sim.core import Event\n"
+        "from repro.sim import cluster\n"
+    )
+    assert len(_violations(bad)) == 4
