@@ -152,6 +152,7 @@ class BlobSeerProtocol:
             "vm.assign_append", cat="blobseer.vm", parent=sp, track=client
         )
         t0 = engine.now()
+        engine.trace_parent(sp_vm)
         ticket = yield engine.call("vm", "assign_append", blob_id, len(payload))
         sp_vm.finish()
         self._h_ticket_wait.observe(engine.now() - t0)
@@ -188,6 +189,7 @@ class BlobSeerProtocol:
         sp_vm = self.obs.tracer.start(
             "vm.assign_write", cat="blobseer.vm", parent=sp, track=client
         )
+        engine.trace_parent(sp_vm)
         ticket = yield engine.call(
             "vm", "assign_write", blob_id, offset, len(payload)
         )
@@ -233,6 +235,7 @@ class BlobSeerProtocol:
                     page_id,
                     payload.slice(lo - offset, hi - offset),
                     placements[i],
+                    parent=sp_ship,
                 )
                 new_frags[p] = Fragment(
                     start=lo - p * ps,
@@ -252,8 +255,13 @@ class BlobSeerProtocol:
                     data_offset=0,
                     providers=placements[i],
                 )
+            engine.trace_parent(sp_ship)
             shippers = engine.ship_many(client, placements, sizes)
-            yield shippers[0] if len(shippers) == 1 else engine.gather(shippers)
+            if len(shippers) == 1:
+                yield shippers[0]
+            else:
+                engine.trace_parent(sp_ship)
+                yield engine.gather(shippers)
         sp_ship.finish()
 
         sp_turn = tracer.start(
@@ -264,6 +272,7 @@ class BlobSeerProtocol:
             version=ticket.version,
         )
         turn_t0 = engine.now()
+        engine.trace_parent(sp_turn)
         prereq = yield engine.wait(
             "vm", "metadata_turn", ticket.blob_id, ticket.version
         )
@@ -293,7 +302,7 @@ class BlobSeerProtocol:
                 track=client,
                 rpcs=len(boundary_log),
             )
-            yield from self._charge(boundary_log)
+            yield from self._charge(boundary_log, parent=sp_b)
             sp_b.finish()
 
         rec_store = RecordingStore(self.dht)
@@ -314,17 +323,20 @@ class BlobSeerProtocol:
             track=client,
             rpcs=len(build_log),
         )
-        yield from self._charge(build_log)
+        yield from self._charge(build_log, parent=sp_md)
         sp_md.finish()
 
         sp_c = tracer.start(
             "vm.commit", cat="blobseer.vm", parent=parent, track=client
         )
+        engine.trace_parent(sp_c)
         yield engine.call("vm", "commit", ticket.blob_id, ticket.version, root)
         sp_c.finish()
         return ticket.version
 
-    def _store_page(self, client: str, page_id, payload: Payload, providers):
+    def _store_page(
+        self, client: str, page_id, payload: Payload, providers, parent=None
+    ):
         """Generator: store one page on its placement, rerouting around
         timeouts by allocating substitute providers. Returns the tuple
         of providers that actually hold the page."""
@@ -335,6 +347,7 @@ class BlobSeerProtocol:
         while remaining:
             name = remaining.pop(0)
             try:
+                engine.trace_parent(parent)
                 yield engine.store(client, name, page_id, payload)
             except RpcTimeoutError:
                 self.pm.mark_down(name)
@@ -361,11 +374,12 @@ class BlobSeerProtocol:
             )
         return tuple(stored)
 
-    def _charge(self, log):
+    def _charge(self, log, parent=None):
         """Generator: bill a metadata access log as RPCs to its owners."""
         if not log:
             return
         self._c_md_rpcs.inc(len(log))
+        self.engine.trace_parent(parent)
         yield self.engine.charge_md([rec.owner for rec in log])
 
     # -- read path -----------------------------------------------------------
@@ -401,6 +415,7 @@ class BlobSeerProtocol:
         sp_vm = self.obs.tracer.start(
             "vm.resolve", cat="blobseer.vm", parent=sp, track=client
         )
+        engine.trace_parent(sp_vm)
         rec, ps = yield engine.call("vm", "resolve", blob_id, version)
         sp_vm.finish()
         if nbytes == 0:
@@ -432,7 +447,7 @@ class BlobSeerProtocol:
             track=client,
             rpcs=len(query_log),
         )
-        yield from self._charge(query_log)
+        yield from self._charge(query_log, parent=sp_md)
         sp_md.finish()
 
         # walk each page's fragments with a cursor so holes *inside* a
@@ -483,22 +498,26 @@ class BlobSeerProtocol:
                     piece.data_offset,
                     piece.length,
                     f"page {piece.page_id}",
+                    parent=sp_fetch,
                 )
                 if data is not None:
                     if buf is None:
                         buf = bytearray(nbytes)
                     buf[out_pos : out_pos + piece.length] = data
         else:
-            fetchers = [
-                engine.fetch(
-                    client,
-                    piece.providers[0],
-                    piece.page_id,
-                    piece.data_offset,
-                    piece.length,
+            fetchers = []
+            for _, piece in jobs:
+                engine.trace_parent(sp_fetch)
+                fetchers.append(
+                    engine.fetch(
+                        client,
+                        piece.providers[0],
+                        piece.page_id,
+                        piece.data_offset,
+                        piece.length,
+                    )
                 )
-                for _, piece in jobs
-            ]
+            engine.trace_parent(sp_fetch)
             yield engine.gather(fetchers)
         sp_fetch.finish(fragments=len(jobs))
         sp.finish(version=rec.version)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.events import lease_expired
 from ..obs.tracer import Span
 from ..sim.core import Event
 from .version_manager import Ticket, VersionManagerCore
@@ -94,6 +95,7 @@ class SimVMService:
         if record is None or record.committed:
             return
         self._c_lease_expiries.inc()
+        lease_expired(self.obs.tracer, blob_id, version)
         # the lease only ran while this version headed the queue, so its
         # predecessor has resolved and the abort can go through directly
         self.core.abort(blob_id, version)

@@ -45,6 +45,7 @@ from ..common.errors import (
     VersionNotReadyError,
 )
 from ..obs import NULL_OBS, Observability
+from ..obs.events import lease_expired
 from .metadata.segment_tree import NodeKey, capacity_for
 
 
@@ -141,6 +142,13 @@ class VersionManagerCore:
     def blob_ids(self) -> List[int]:
         """Ids of all registered blobs."""
         return list(self._blobs)
+
+    @property
+    def commit_queue_length(self) -> int:
+        """How many versions are currently queued for their metadata
+        turn / publication — the serialization depth the telemetry
+        samplers record over time."""
+        return sum(len(w) for w in self._turn_waiters.values())
 
     # -- assignment (the critical section) ------------------------------------
 
@@ -403,6 +411,7 @@ class ThreadedVersionManager:
             if record is None or record.committed:
                 return
             self._c_lease_expiries.inc()
+            lease_expired(self.obs.tracer, blob_id, version)
             self._abort_when_possible_locked(blob_id, version)
             self._turn.notify_all()
 

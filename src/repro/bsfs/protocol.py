@@ -52,6 +52,7 @@ class BSFSProtocol:
         sp = self.obs.tracer.start(
             f"ns.{op}", cat="bsfs.ns", parent=parent, track=client
         )
+        self.engine.trace_parent(sp)
         result = yield self.engine.call("ns", method, *args)
         sp.finish()
         return result

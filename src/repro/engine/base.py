@@ -71,9 +71,37 @@ class Engine(abc.ABC):
       threaded engine always reports ``True`` (real components fail
       organically); the DES engine flips it on first injection so the
       fault-free hot paths stay branch-cheap.
+
+    **Causal tracing.** Both runtimes emit one span per op — named after
+    the *control endpoint* (``engine.call:vm.commit``), never the
+    runtime's node names, so the two engines produce identical span
+    trees for identical scenarios (the trace-parity suite asserts it).
+    A protocol core parents those op spans by calling
+    :meth:`trace_parent` immediately before creating an op; the engine
+    consumes the parent on the next op creation (consume-on-create, so
+    a stale parent can never misattach to a later unrelated op). With
+    tracing disabled the whole mechanism is one attribute store per
+    call site and ``_tracer`` stays ``None`` — the NULL_OBS fast path.
     """
 
     retry: RetryPolicy
+
+    #: the enabled tracer, or ``None`` when observability is off —
+    #: implementations cache this so every op pays one None-check
+    _tracer = None
+    #: parent span for the next op created (consumed on creation)
+    _trace_parent = None
+
+    def trace_parent(self, span) -> None:
+        """Parent the *next* op's span under *span* (one-shot)."""
+        self._trace_parent = span
+
+    def _take_parent(self):
+        """Consume the pending op-span parent (internal)."""
+        parent = self._trace_parent
+        if parent is not None:
+            self._trace_parent = None
+        return parent
 
     # -- clock / flow -------------------------------------------------------
 

@@ -57,12 +57,6 @@ class DesEngine(Engine):
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
-        self.obs = obs or NULL_OBS
-        if self.obs.tracer.enabled:
-            # spans carry simulated timestamps; rebasing keeps successive
-            # deployments sequential in one trace
-            env = self.env
-            self.obs.tracer.use_clock(lambda: env.now)
         self.retry = RetryPolicy.from_cluster(cluster.config)
         self._seed = cluster.config.seed
         self._control: dict[str, _Control] = {}
@@ -70,7 +64,37 @@ class DesEngine(Engine):
         self._down: Set[str] = set()
         self._down_md: Set[int] = set()
         self._faults_on = False
-        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+        self.use_obs(obs or NULL_OBS)
+
+    def use_obs(self, obs: Observability) -> None:
+        """(Re)wire observability — harnesses built with NULL_OBS can
+        switch a live engine onto an enabled bundle."""
+        self.obs = obs
+        if obs.tracer.enabled:
+            # spans carry simulated timestamps; rebasing keeps successive
+            # deployments sequential in one trace
+            env = self.env
+            obs.tracer.use_clock(lambda: env.now)
+            self._tracer = obs.tracer
+        else:
+            self._tracer = None
+        self._trace_parent = None
+        self._c_rpc_timeouts = obs.registry.counter("net.rpc_timeouts")
+
+    def _spanned(self, ev: Event, name: str, cat: str, **args: Any) -> Event:
+        """Open one op span now (creation time) and finish it when *ev*
+        fires — failed ops record their exception type."""
+        sp = self._tracer.start(
+            name, cat=cat, parent=self._take_parent(), **args
+        )
+
+        def _finish(e: Event, sp=sp) -> None:
+            if not e._ok:
+                sp.set(error=type(e._value).__name__)
+            sp.finish()
+
+        ev.callbacks.append(_finish)
+        return ev
 
     # -- wiring -------------------------------------------------------------
 
@@ -89,6 +113,14 @@ class DesEngine(Engine):
     def control_slot(self, name: str) -> Resource:
         """The endpoint's service slot (for legacy direct round trips)."""
         return self._control[name].slot
+
+    def endpoint_inflight(self) -> dict[str, int]:
+        """RPCs queued per bound control endpoint right now — the
+        telemetry samplers record these as time series."""
+        return {
+            name: ctl.slot.queue_length
+            for name, ctl in self._control.items()
+        }
 
     # -- fault state --------------------------------------------------------
 
@@ -119,7 +151,10 @@ class DesEngine(Engine):
         return self.env.now
 
     def sleep(self, dt: float) -> Event:
-        return self.env.timeout(dt)
+        ev = self.env.timeout(dt)
+        if self._tracer is not None:
+            return self._spanned(ev, "engine.sleep", "engine.retry", dt=dt)
+        return ev
 
     def spawn(self, gen: Generator) -> Event:
         return self.env.process(gen)
@@ -136,17 +171,27 @@ class DesEngine(Engine):
     def call(self, endpoint: str, method: str, *args: Any) -> Event:
         ctl = self._control[endpoint]
         fn = getattr(ctl.adapter, method)
-        return ctl.slot.round_trip(
+        ev = ctl.slot.round_trip(
             self.cluster.config.latency, ctl.service, lambda: fn(*args)
         )
+        if self._tracer is not None:
+            return self._spanned(
+                ev, f"engine.call:{endpoint}.{method}", "engine.call"
+            )
+        return ev
 
     def wait(self, endpoint: str, method: str, *args: Any) -> Event:
         """Uncharged wait: the adapter may hand back a condition event."""
         out = getattr(self._control[endpoint].adapter, method)(*args)
         if isinstance(out, Event):
-            return out
-        ev = Event(self.env)
-        ev.succeed(out)
+            ev = out
+        else:
+            ev = Event(self.env)
+            ev.succeed(out)
+        if self._tracer is not None:
+            return self._spanned(
+                ev, f"engine.wait:{endpoint}.{method}", "engine.wait"
+            )
         return ev
 
     # -- data plane ---------------------------------------------------------
@@ -164,17 +209,23 @@ class DesEngine(Engine):
     def store(
         self, client: str, endpoint: str, page_id: Any, payload: Payload
     ) -> Event:
-        if endpoint in self._down:
-            return self._timeout_fail(f"store to {endpoint}")
         nbytes = len(payload)
-        t = self.cluster.network.transfer(client, endpoint, nbytes)
+        if endpoint in self._down:
+            t = self._timeout_fail(f"store to {endpoint}")
+        else:
+            t = self.cluster.network.transfer(client, endpoint, nbytes)
 
-        def persist(ev: Event) -> None:
-            if ev._ok:
-                # asynchronous persistence; disk contention accrues
-                self.cluster.node(endpoint).disk.write(nbytes, notify=False)
+            def persist(ev: Event) -> None:
+                if ev._ok:
+                    # asynchronous persistence; disk contention accrues
+                    self.cluster.node(endpoint).disk.write(nbytes, notify=False)
 
-        t.callbacks.append(persist)
+            t.callbacks.append(persist)
+        if self._tracer is not None:
+            return self._spanned(
+                t, "engine.store", "engine.data",
+                endpoint=endpoint, nbytes=nbytes,
+            )
         return t
 
     def fetch(
@@ -186,24 +237,40 @@ class DesEngine(Engine):
         nbytes: int,
     ) -> Event:
         if endpoint in self._down:
-            return self._timeout_fail(f"fetch from {endpoint}")
-        done = Event(self.env)
+            done = self._timeout_fail(f"fetch from {endpoint}")
+        else:
+            done = Event(self.env)
 
-        def off_disk(ev: Event) -> None:
-            if not ev._ok:
-                done.fail(ev._value)
-                return
-            t = self.cluster.network.transfer(endpoint, client, nbytes)
-            t.callbacks.append(
-                lambda tv: done.succeed(None)
-                if tv._ok
-                else done.fail(tv._value)
+            def off_disk(ev: Event) -> None:
+                if not ev._ok:
+                    done.fail(ev._value)
+                    return
+                t = self.cluster.network.transfer(endpoint, client, nbytes)
+                t.callbacks.append(
+                    lambda tv: done.succeed(None)
+                    if tv._ok
+                    else done.fail(tv._value)
+                )
+
+            self.cluster.node(endpoint).disk.read(nbytes).callbacks.append(
+                off_disk
             )
-
-        self.cluster.node(endpoint).disk.read(nbytes).callbacks.append(off_disk)
+        if self._tracer is not None:
+            return self._spanned(
+                done, "engine.fetch", "engine.data",
+                endpoint=endpoint, nbytes=nbytes,
+            )
         return done
 
     def charge_md(self, owners: Sequence[int]) -> Event:
+        done = self._charge_md_event(owners)
+        if self._tracer is not None:
+            return self._spanned(
+                done, "engine.charge_md", "engine.md", rpcs=len(owners)
+            )
+        return done
+
+    def _charge_md_event(self, owners: Sequence[int]) -> Event:
         done = Event(self.env)
         if not owners:
             done.succeed(None)
@@ -303,7 +370,20 @@ class DesEngine(Engine):
 
             done.callbacks.append(persist)
             out.append(done)
+        if self._tracer is not None and out:
+            # one span for the whole fan-out, finished when the last
+            # page's last replica has the bytes
+            self._spanned(
+                self.env.all_of(list(out)),
+                "engine.ship_many",
+                "engine.data",
+                pages=len(out),
+                nbytes=sum(sizes),
+            )
         return out
 
     def gather(self, ops: List[Event]) -> Event:
-        return self.env.all_of(ops)
+        ev = self.env.all_of(ops)
+        if self._tracer is not None:
+            return self._spanned(ev, "engine.gather", "engine.data", n=len(ops))
+        return ev

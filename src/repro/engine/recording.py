@@ -41,6 +41,18 @@ class RecordingEngine(Engine):
         self.trace: List[Tuple] = []
         self._label = endpoint_label or (lambda name: name)
 
+    # -- tracing (forwarded: spans belong to the real runtime) --------------
+
+    @property
+    def obs(self):
+        return self.inner.obs
+
+    def use_obs(self, obs) -> None:
+        self.inner.use_obs(obs)
+
+    def trace_parent(self, span) -> None:
+        self.inner.trace_parent(span)
+
     # -- clock / flow (pass-through) ----------------------------------------
 
     def now(self) -> float:

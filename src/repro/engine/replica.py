@@ -24,6 +24,7 @@ from ..common.errors import (
     ReplicationError,
     RpcTimeoutError,
 )
+from ..obs import NULL_SPAN
 
 
 class ReplicaSelector:
@@ -61,6 +62,7 @@ def sweep_fetch(
     data_offset: int,
     nbytes: int,
     describe: str,
+    parent=None,
 ):
     """Generator: fetch one stored object, failing over across replicas.
 
@@ -69,29 +71,55 @@ def sweep_fetch(
     rotation the sweep backs off; when the attempt budget is spent the
     fetch fails with :class:`~repro.common.errors.ReplicationError`.
 
+    When tracing is on the whole sweep is one ``replica.sweep`` span
+    (parented under *parent*) whose children are the per-attempt
+    ``engine.fetch`` ops and the between-rotation backoff sleeps —
+    failover cost shows up as one retry subtree in the trace.
+
     Returns the bytes on engines that materialize data, ``None`` on the
     DES engine.
     """
+    sp = engine.obs.tracer.start(
+        "replica.sweep",
+        cat="engine.retry",
+        parent=parent,
+        replicas=len(endpoints),
+    )
+    traced = sp is not NULL_SPAN
     policy = engine.retry
     order = selector.order(endpoints)
     n = len(order)
     last_exc: Exception | None = None
-    for attempt in range(policy.max_attempts):
-        name = order[attempt % n]
-        try:
-            data = yield engine.fetch(client, name, page_id, data_offset, nbytes)
-        except RpcTimeoutError as exc:
-            selector.dead.add(name)
-            last_exc = exc
-        except PageNotFoundError as exc:
-            # the endpoint answered: alive, just missing this object
-            last_exc = exc
-        else:
-            selector.dead.discard(name)
-            return data
-        if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
-            # a full sweep of replicas failed: back off before retrying
-            yield engine.sleep(policy.backoff(attempt // n))
-    raise ReplicationError(
-        f"no replica of {describe} is readable (endpoints {tuple(endpoints)})"
-    ) from last_exc
+    try:
+        for attempt in range(policy.max_attempts):
+            name = order[attempt % n]
+            try:
+                if traced:
+                    engine.trace_parent(sp)
+                data = yield engine.fetch(
+                    client, name, page_id, data_offset, nbytes
+                )
+            except RpcTimeoutError as exc:
+                selector.dead.add(name)
+                last_exc = exc
+            except PageNotFoundError as exc:
+                # the endpoint answered: alive, just missing this object
+                last_exc = exc
+            else:
+                selector.dead.discard(name)
+                if traced:
+                    sp.set(attempts=attempt + 1)
+                return data
+            if (attempt + 1) % n == 0 and attempt + 1 < policy.max_attempts:
+                # a full sweep of replicas failed: back off before retrying
+                if traced:
+                    engine.trace_parent(sp)
+                yield engine.sleep(policy.backoff(attempt // n))
+        if traced:
+            sp.set(attempts=policy.max_attempts, error="ReplicationError")
+        raise ReplicationError(
+            f"no replica of {describe} is readable "
+            f"(endpoints {tuple(endpoints)})"
+        ) from last_exc
+    finally:
+        sp.finish()

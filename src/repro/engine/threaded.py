@@ -59,14 +59,42 @@ class ThreadedEngine(Engine):
         obs: Optional[Observability] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self.obs = obs or NULL_OBS
         self.retry = retry or THREADED_RETRY
         self._seed = seed
         self._control: dict[str, Any] = {}
         # endpoint -> (store_fn(page_id, data), load_fn(page_id, off, n))
         self._data: dict[str, tuple] = {}
         self._down: Set[str] = set()
-        self._c_rpc_timeouts = self.obs.registry.counter("net.rpc_timeouts")
+        self.use_obs(obs or NULL_OBS)
+
+    def use_obs(self, obs: Observability) -> None:
+        """(Re)wire observability — harnesses built with NULL_OBS can
+        switch a live engine onto an enabled bundle."""
+        self.obs = obs
+        self._tracer = obs.tracer if obs.tracer.enabled else None
+        self._trace_parent = None
+        self._c_rpc_timeouts = obs.registry.counter("net.rpc_timeouts")
+
+    def _spanned(self, op: _Op, name: str, cat: str, **args: Any) -> _Op:
+        """Open one op span now (creation time, matching the DES engine's
+        span start order) and finish it when the trampoline resolves the
+        thunk — failed ops record their exception type."""
+        sp = self._tracer.start(
+            name, cat=cat, parent=self._take_parent(), **args
+        )
+        fn = op.fn
+
+        def traced() -> Any:
+            try:
+                return fn()
+            except BaseException as exc:
+                sp.set(error=type(exc).__name__)
+                raise
+            finally:
+                sp.finish()
+
+        op.fn = traced
+        return op
 
     # -- wiring -------------------------------------------------------------
 
@@ -106,7 +134,10 @@ class ThreadedEngine(Engine):
         return time.perf_counter()
 
     def sleep(self, dt: float) -> _Op:
-        return _Op(lambda: time.sleep(dt))
+        op = _Op(lambda: time.sleep(dt))
+        if self._tracer is not None:
+            return self._spanned(op, "engine.sleep", "engine.retry", dt=dt)
+        return op
 
     def spawn(self, gen: Generator) -> _Op:
         # no scheduler to hand off to: the sub-generator runs to
@@ -140,12 +171,24 @@ class ThreadedEngine(Engine):
 
     def call(self, endpoint: str, method: str, *args: Any) -> _Op:
         adapter = self._control[endpoint]
-        return _Op(lambda: getattr(adapter, method)(*args))
+        op = _Op(lambda: getattr(adapter, method)(*args))
+        if self._tracer is not None:
+            return self._spanned(
+                op, f"engine.call:{endpoint}.{method}", "engine.call"
+            )
+        return op
 
     def wait(self, endpoint: str, method: str, *args: Any) -> _Op:
         # a wait is just a blocking call here; the charged/uncharged
-        # distinction only exists under the simulator's cost model
-        return self.call(endpoint, method, *args)
+        # distinction only exists under the simulator's cost model —
+        # but its span keeps the DES engine's distinct wait name
+        adapter = self._control[endpoint]
+        op = _Op(lambda: getattr(adapter, method)(*args))
+        if self._tracer is not None:
+            return self._spanned(
+                op, f"engine.wait:{endpoint}.{method}", "engine.wait"
+            )
+        return op
 
     # -- data plane ---------------------------------------------------------
 
@@ -161,7 +204,13 @@ class ThreadedEngine(Engine):
                 self._c_rpc_timeouts.inc()
                 raise RpcTimeoutError(str(exc)) from exc
 
-        return _Op(do)
+        op = _Op(do)
+        if self._tracer is not None:
+            return self._spanned(
+                op, "engine.store", "engine.data",
+                endpoint=endpoint, nbytes=len(payload),
+            )
+        return op
 
     def fetch(
         self,
@@ -180,8 +229,22 @@ class ThreadedEngine(Engine):
                 self._c_rpc_timeouts.inc()
                 raise RpcTimeoutError(str(exc)) from exc
 
-        return _Op(do)
+        op = _Op(do)
+        if self._tracer is not None:
+            return self._spanned(
+                op, "engine.fetch", "engine.data",
+                endpoint=endpoint, nbytes=nbytes,
+            )
+        return op
 
     def charge_md(self, owners: Sequence[int]) -> _Op:
-        # the DHT is in-process: metadata RPCs cost nothing here
+        # the DHT is in-process: metadata RPCs cost nothing here, but
+        # the op still gets its span so both runtimes' trees match
+        if self._tracer is not None:
+            return self._spanned(
+                _Op(lambda: None),
+                "engine.charge_md",
+                "engine.md",
+                rpcs=len(owners),
+            )
         return _NOOP

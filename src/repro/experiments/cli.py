@@ -92,6 +92,17 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSON run report to PATH (critical-path layer "
+            "breakdown, latency percentiles, counters, fault timeline) "
+            "and print its text rendering; implies collection even "
+            "without --trace"
+        ),
+    )
+    parser.add_argument(
         "--allocator",
         choices=["incremental", "reference"],
         default=None,
@@ -139,7 +150,11 @@ def main(argv: List[str] | None = None) -> int:
         return _bench_main(args, config)
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
-    observe = args.trace is not None or args.metrics_out is not None
+    observe = (
+        args.trace is not None
+        or args.metrics_out is not None
+        or args.report is not None
+    )
     multi = len(names) > 1
     results = []
     for name in names:
@@ -161,12 +176,21 @@ def main(argv: List[str] | None = None) -> int:
             print(text_summary(obs.registry, obs.tracer))
             if args.trace:
                 trace_path = _suffixed(args.trace, name, multi)
-                write_chrome_trace(obs.tracer, trace_path)
+                write_chrome_trace(obs.tracer, trace_path, obs.registry)
                 print(f"wrote {trace_path} ({len(obs.tracer)} spans)")
             if args.metrics_out:
                 metrics_path = _suffixed(args.metrics_out, name, multi)
                 write_text_summary(obs.registry, metrics_path, obs.tracer)
                 print(f"wrote {metrics_path}")
+            if args.report:
+                from .runreport import build_report, report_text, write_report
+
+                report_path = _suffixed(args.report, name, multi)
+                report = build_report(obs, figure=name)
+                print()
+                print(report_text(report))
+                write_report(report, report_path)
+                print(f"wrote {report_path}")
         print()
     if args.json:
         with open(args.json, "w") as fp:

@@ -65,11 +65,91 @@ def deploy_bsfs(
         namespace_manager=names[2],
     )
     bsfs = SimBSFS(cluster, roles, config.blobseer, obs=obs)
+    attach_sim_samplers(
+        cluster, obs, engine=bsfs.engine, vm_core=bsfs.blobseer.core
+    )
     return BSFSDeployment(
         cluster=cluster,
         bsfs=bsfs,
         client_nodes=list(roles.blobseer.data_providers),
     )
+
+
+#: default telemetry sampling period, in simulated seconds — fine
+#: enough that even sub-second benchmark runs collect a few points;
+#: the ring buffer caps retention so long runs stay bounded
+SAMPLE_PERIOD_S = 0.02
+
+#: sampler decimation: the period doubles after every this many ticks,
+#: so a run lasting T sim-seconds pays O(log T) sampler events rather
+#: than T / SAMPLE_PERIOD_S — a long Map/Reduce join must not spend its
+#: event budget on telemetry
+SAMPLE_DOUBLE_AFTER = 256
+
+
+def attach_sim_samplers(
+    cluster: SimCluster,
+    obs: Optional[Observability],
+    engine=None,
+    vm_core=None,
+    period: float = SAMPLE_PERIOD_S,
+) -> None:
+    """Attach periodic telemetry samplers to a fresh deployment.
+
+    Every *period* simulated seconds the samplers record, as
+    :class:`~repro.obs.timeseries.TimeSeries` points:
+
+    * ``sim.net.aggregate_rate_bps`` / ``sim.net.active_flows`` — fabric
+      utilization (summed allocated flow rates) and in-flight flow count;
+    * ``sim.disk.queue_max`` — the deepest spindle queue across nodes;
+    * ``vm.commit_queue_len`` — versions queued for their metadata turn
+      (when *vm_core* is given);
+    * ``rpc.inflight.<endpoint>`` — RPCs queued per control endpoint
+      (when *engine* is a :class:`~repro.engine.des.DesEngine`).
+
+    The ticking stops with the workload (see
+    :meth:`~repro.sim.core.Environment.every`), so a sampled run drains
+    its queue exactly like an unsampled one, and the sampling period
+    doubles every :data:`SAMPLE_DOUBLE_AFTER` ticks so telemetry costs
+    ``O(log T)`` events over a ``T``-second simulation. No-op when
+    *obs* is disabled.
+    """
+    if obs is None or not obs.registry.enabled:
+        return
+    env = cluster.env
+    reg = obs.registry
+    net = cluster.network
+    nodes = [cluster.node(name) for name in cluster.names()]
+    ts_rate = reg.timeseries("sim.net.aggregate_rate_bps")
+    ts_flows = reg.timeseries("sim.net.active_flows")
+    ts_disk = reg.timeseries("sim.disk.queue_max")
+    ts_vm = reg.timeseries("vm.commit_queue_len") if vm_core is not None else None
+    ts_rpc = (
+        {
+            name: reg.timeseries(f"rpc.inflight.{name}")
+            for name in engine.endpoint_inflight()
+        }
+        if engine is not None and hasattr(engine, "endpoint_inflight")
+        else None
+    )
+
+    def sample() -> None:
+        now = env.now
+        ts_rate.record(now, net.aggregate_rate())
+        ts_flows.record(now, net.active_flows)
+        ts_disk.record(now, max(node.disk.queue_length for node in nodes))
+        if ts_vm is not None:
+            ts_vm.record(now, vm_core.commit_queue_length)
+        if ts_rpc is not None:
+            for name, depth in engine.endpoint_inflight().items():
+                series = ts_rpc.get(name)
+                if series is None:
+                    series = ts_rpc[name] = reg.timeseries(
+                        f"rpc.inflight.{name}"
+                    )
+                series.record(now, depth)
+
+    env.every(period, sample, double_after=SAMPLE_DOUBLE_AFTER)
 
 
 def record_sim_counters(cluster: SimCluster, obs: Optional[Observability]) -> None:
@@ -99,6 +179,7 @@ def deploy_hdfs(
     names = cluster.names()
     roles = HDFSRoles(namenode=names[0], datanodes=tuple(names[1:]))
     hdfs = SimHDFS(cluster, roles, config.hdfs, obs=obs)
+    attach_sim_samplers(cluster, obs, engine=hdfs.engine)
     return HDFSDeployment(
         cluster=cluster, hdfs=hdfs, client_nodes=list(roles.datanodes)
     )

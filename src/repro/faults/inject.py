@@ -16,14 +16,21 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import NULL_OBS, Observability
+from ..obs.events import fault_crash, fault_recover
 from .plan import FaultPlan, FaultSpec
 
 
 class FaultInjector:
-    """Component-kind registry of fail/recover handlers, with counters."""
+    """Component-kind registry of fail/recover handlers, with counters.
+
+    Every injection and recovery is also marked as an instant trace
+    event (:mod:`repro.obs.events`), so chaos runs show their fault
+    timeline inline with the client spans they perturb.
+    """
 
     def __init__(self, obs: Optional[Observability] = None) -> None:
         obs = obs or NULL_OBS
+        self._tracer = obs.tracer
         self._handlers: Dict[
             str, Tuple[Callable[[str], None], Optional[Callable[[str], None]]]
         ] = {}
@@ -53,6 +60,7 @@ class FaultInjector:
             ) from None
         fail(target)
         self._c_injected.inc()
+        fault_crash(self._tracer, component, target)
 
     def recover(self, component: str, target: str) -> None:
         try:
@@ -66,6 +74,7 @@ class FaultInjector:
             raise ValueError(f"component {component!r} cannot recover")
         recover(target)
         self._c_recovered.inc()
+        fault_recover(self._tracer, component, target)
 
 
 def schedule_plan(env, plan: FaultPlan, injector: FaultInjector, rng=None) -> int:

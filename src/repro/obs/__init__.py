@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeseries import TimeSeries
 from .tracer import NULL_SPAN, Span, Tracer
+from .critical import CriticalPathReport, attribute
 from .export import (
     chrome_trace,
     text_summary,
@@ -66,6 +68,7 @@ NULL_OBS = Observability.off()
 
 __all__ = [
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -73,7 +76,9 @@ __all__ = [
     "NULL_SPAN",
     "Observability",
     "Span",
+    "TimeSeries",
     "Tracer",
+    "attribute",
     "chrome_trace",
     "text_summary",
     "write_chrome_trace",

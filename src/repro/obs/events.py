@@ -1,0 +1,50 @@
+"""The instant-event vocabulary: fault and lease moment markers.
+
+Chaos runs (fig7) perturb the protocol with provider crashes, recoveries
+and append-ticket lease expiries; these helpers stamp each such moment
+onto the trace as a zero-duration instant (:meth:`Tracer.instant`), so
+the trace viewer and the run report can align failures against the spans
+they perturb. Every helper is a no-op on a disabled tracer.
+
+The names are the contract consumed by
+:func:`repro.experiments.runreport.fault_timeline` — add new moments
+here, not ad hoc at the call sites.
+"""
+
+from __future__ import annotations
+
+from .tracer import Tracer
+
+#: category shared by every fault/lease moment marker
+FAULT_CAT = "fault"
+
+#: a component was crashed by the fault injector
+FAULT_CRASH = "fault.crash"
+#: a crashed component was brought back
+FAULT_RECOVER = "fault.recover"
+#: an append-ticket lease ran out and the version was aborted
+LEASE_EXPIRED = "vm.lease_expired"
+
+
+def fault_crash(tracer: Tracer, component: str, target: str) -> None:
+    """Stamp a crash injection at the tracer's current time."""
+    tracer.instant(
+        FAULT_CRASH, cat=FAULT_CAT, track="faults",
+        component=component, target=target,
+    )
+
+
+def fault_recover(tracer: Tracer, component: str, target: str) -> None:
+    """Stamp a recovery at the tracer's current time."""
+    tracer.instant(
+        FAULT_RECOVER, cat=FAULT_CAT, track="faults",
+        component=component, target=target,
+    )
+
+
+def lease_expired(tracer: Tracer, blob_id: int, version: int) -> None:
+    """Stamp an append-ticket lease expiry (the version was aborted)."""
+    tracer.instant(
+        LEASE_EXPIRED, cat=FAULT_CAT, track="faults",
+        blob=blob_id, version=version,
+    )

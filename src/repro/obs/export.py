@@ -6,6 +6,13 @@ loads directly into ``chrome://tracing`` or https://ui.perfetto.dev —
 drop the file in and every append's version-assignment wait, metadata
 turn, and page shipping nest visually per client.
 
+Never-finished spans are *not* dropped: they are emitted closed at the
+trace's latest timestamp with ``still_open: true`` (and counted), since
+an open span after a run usually marks the exact path that failed.
+Instant spans (fault injections, lease expiries) become ``"i"`` events;
+counters, gauges and sampled time series become ``"C"`` counter rows so
+metrics render as staircase plots under the spans.
+
 The text summary is the terminal companion: counters, gauges,
 histogram percentiles, and a derived section (cache hit-rate, map
 locality) aligned for reading next to a figure's numbers.
@@ -20,8 +27,11 @@ from .metrics import MetricsRegistry
 from .tracer import Tracer
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, object]:
-    """The tracer's finished spans as a Chrome ``trace_event`` document."""
+def chrome_trace(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, object]:
+    """The tracer's spans (plus *registry* counters) as a Chrome
+    ``trace_event`` document."""
     events: List[Dict[str, object]] = [
         {
             "name": "process_name",
@@ -32,7 +42,9 @@ def chrome_trace(tracer: Tracer) -> Dict[str, object]:
         }
     ]
     tids: Dict[str, int] = {}
-    spans = tracer.finished()
+    spans = tracer.snapshot()
+    max_ts = tracer.max_ts
+    unfinished = 0
     for span in spans:
         tid = tids.get(span.track)
         if tid is None:
@@ -47,28 +59,78 @@ def chrome_trace(tracer: Tracer) -> Dict[str, object]:
                 }
             )
     for span in spans:
-        event: Dict[str, object] = {
-            "name": span.name,
-            "cat": span.cat or "default",
-            "ph": "X",
-            "ts": span.start * 1e6,
-            "dur": (span.end - span.start) * 1e6,
-            "pid": 1,
-            "tid": tids[span.track],
-        }
         args = dict(span.args)
         args["span_id"] = span.span_id
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.cat or "default",
+            "ts": span.start * 1e6,
+            "pid": 1,
+            "tid": tids[span.track],
+        }
+        if span.instant:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant marker
+        else:
+            end = span.end
+            if end is None:
+                # still open: close at the trace's latest timestamp and
+                # flag it rather than silently dropping the span
+                end = max(max_ts, span.start)
+                args["still_open"] = True
+                unfinished += 1
+            event["ph"] = "X"
+            event["dur"] = (end - span.start) * 1e6
         event["args"] = args
         events.append(event)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    if registry is not None:
+        events.extend(_counter_rows(registry, max_ts))
+    doc: Dict[str, object] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if unfinished:
+        doc["metadata"] = {"spans_unfinished": unfinished}
+    return doc
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
+def _counter_rows(
+    registry: MetricsRegistry, max_ts: float
+) -> List[Dict[str, object]]:
+    """Metrics as ``"C"`` counter rows: each time series at its sample
+    times, counters/gauges as their final value at the trace end."""
+    rows: List[Dict[str, object]] = []
+    for name, series in registry.series().items():
+        for t, value in series.points():
+            rows.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": 1,
+                    "args": {"value": value},
+                }
+            )
+    finals = dict(registry.counters())
+    finals.update(registry.gauges())
+    for name, value in finals.items():
+        rows.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": max_ts * 1e6,
+                "pid": 1,
+                "args": {"value": value},
+            }
+        )
+    return rows
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, registry: Optional[MetricsRegistry] = None
+) -> None:
     """Serialize :func:`chrome_trace` to *path*."""
     with open(path, "w") as fp:
-        json.dump(chrome_trace(tracer), fp)
+        json.dump(chrome_trace(tracer, registry), fp)
 
 
 def _table(header: List[str], rows: List[List[str]]) -> List[str]:
@@ -145,6 +207,21 @@ def text_summary(
             )
         )
 
+    series = registry.series()
+    if series:
+        lines.append("")
+        lines.append("time series:")
+        rows = []
+        for name, ts in series.items():
+            s = ts.summary()
+            rows.append(
+                [name, f"{s['count']:g}"]
+                + [f"{s[k]:.6g}" for k in ("last", "min", "max", "mean")]
+            )
+        lines.extend(
+            _table(["name", "samples", "last", "min", "max", "mean"], rows)
+        )
+
     # derived readouts the benchmarks care about, always reported
     lines.append("")
     lines.append("derived:")
@@ -167,7 +244,13 @@ def text_summary(
         lines.append("")
         lines.append("spans:")
         per_cat: Dict[str, List[float]] = {}
-        for span in tracer.finished():
+        unfinished = 0
+        for span in tracer.snapshot():
+            if span.instant:
+                continue
+            if span.end is None:
+                unfinished += 1
+                continue
             per_cat.setdefault(span.cat or "default", []).append(
                 span.end - span.start
             )
@@ -176,6 +259,7 @@ def text_summary(
             for cat, durs in sorted(per_cat.items())
         ]
         lines.extend(_table(["category", "count", "total_s"], rows))
+        lines.append(f"spans.unfinished: {unfinished}")
 
     return "\n".join(lines)
 

@@ -23,6 +23,8 @@ import threading
 import zlib
 from typing import Dict, Iterable, List, Optional, Union
 
+from .timeseries import _NULL_TIMESERIES, TimeSeries
+
 
 class Counter:
     """A monotonically increasing total."""
@@ -204,7 +206,7 @@ _NULL_COUNTER = _NullCounter()
 _NULL_GAUGE = _NullGauge()
 _NULL_HISTOGRAM = _NullHistogram()
 
-Instrument = Union[Counter, Gauge, Histogram]
+Instrument = Union[Counter, Gauge, Histogram, TimeSeries]
 
 
 class MetricsRegistry:
@@ -254,6 +256,25 @@ class MetricsRegistry:
             return _NULL_HISTOGRAM  # type: ignore[return-value]
         return self._get(name, Histogram)
 
+    def timeseries(self, name: str, capacity: int = 4096) -> TimeSeries:
+        """Get-or-create a ring-buffer time series (see its module).
+
+        *capacity* only applies on creation; a later fetch with a
+        different capacity returns the existing series unchanged.
+        """
+        if not self.enabled:
+            return _NULL_TIMESERIES  # type: ignore[return-value]
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = TimeSeries(name, capacity)
+            elif not isinstance(inst, TimeSeries):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested TimeSeries"
+                )
+            return inst
+
     # -- readout --------------------------------------------------------------
 
     def counters(self) -> Dict[str, float]:
@@ -283,23 +304,40 @@ class MetricsRegistry:
                 if isinstance(i, Histogram)
             }
 
+    def series(self) -> Dict[str, TimeSeries]:
+        """Name → time series, sorted by name."""
+        with self._lock:
+            return {
+                n: i
+                for n, i in sorted(self._instruments.items())
+                if isinstance(i, TimeSeries)
+            }
+
     def value(self, name: str, default: float = 0.0) -> float:
         """A counter/gauge value by name (*default* when absent)."""
         with self._lock:
             inst = self._instruments.get(name)
-        if inst is None or isinstance(inst, Histogram):
+        if inst is None or isinstance(inst, (Histogram, TimeSeries)):
             return default
         return inst.value
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready view: counters, gauges, histogram summaries."""
-        return {
+        """JSON-ready view: counters, gauges, histogram summaries, and
+        time series (retained points plus a summary)."""
+        doc: Dict[str, object] = {
             "counters": self.counters(),
             "gauges": self.gauges(),
             "histograms": {
                 n: h.summary() for n, h in self.histograms().items()
             },
         }
+        series = self.series()
+        if series:
+            doc["timeseries"] = {
+                n: {"summary": s.summary(), "points": s.points()}
+                for n, s in series.items()
+            }
+        return doc
 
     def names(self) -> Iterable[str]:
         with self._lock:

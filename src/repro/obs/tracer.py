@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+from types import MappingProxyType
 from typing import Any, Callable, Dict, List, Optional
 
 
@@ -47,6 +48,7 @@ class Span:
         "args",
         "span_id",
         "parent_id",
+        "instant",
         "_tracer",
     )
 
@@ -70,6 +72,9 @@ class Span:
         self.start = start
         self.end: Optional[float] = None
         self.args = args
+        #: True for zero-duration moment markers (fault injections,
+        #: lease expiries) — exported as Chrome instant events
+        self.instant = False
 
     @property
     def duration(self) -> Optional[float]:
@@ -119,9 +124,14 @@ class _NullSpan:
     duration = 0.0
     span_id = None
     parent_id = None
-    args: Dict[str, Any] = {}
+    instant = False
+    # immutable: a write through a disabled span must fail loudly rather
+    # than leak shared state across every user of NULL_SPAN
+    args: "MappingProxyType[str, Any]" = MappingProxyType({})
 
     def set(self, **args: Any) -> "_NullSpan":
+        # annotations on a disabled span are dropped; the returned span
+        # is itself a no-op, so chained calls stay harmless
         return self
 
     def finish(self, **args: Any) -> "_NullSpan":
@@ -225,6 +235,27 @@ class Tracer:
     #: alias emphasizing the ``with tracer.span(...)`` usage
     span = start
 
+    def instant(
+        self,
+        name: str,
+        cat: str = "",
+        parent: Optional[Span] = None,
+        track: Optional[str] = None,
+        **args: Any,
+    ):
+        """Record a zero-duration moment marker (already finished).
+
+        Instants annotate the timeline — a provider crash, a lease
+        expiry — so chaos runs render failures aligned against the spans
+        they perturb. Exported as Chrome ``"i"`` instant events.
+        """
+        span = self.start(name, cat=cat, parent=parent, track=track, **args)
+        if span is NULL_SPAN:
+            return span
+        span.instant = True
+        span.end = span.start
+        return span
+
     def _finish(self, span: Span) -> None:
         ts = self.now()
         with self._lock:
@@ -264,6 +295,27 @@ class Tracer:
         """Spans that have both endpoints, in start order."""
         with self._lock:
             return [s for s in self.spans if s.end is not None]
+
+    def open_spans(self) -> List[Span]:
+        """Spans started but never finished, in start order.
+
+        A non-empty result after a run usually marks a protocol path
+        that errored between ``start`` and ``finish`` — the exporters
+        flag these instead of silently dropping them.
+        """
+        with self._lock:
+            return [s for s in self.spans if s.end is None]
+
+    def snapshot(self) -> List[Span]:
+        """Every recorded span (finished, open, instant), in start order."""
+        with self._lock:
+            return list(self.spans)
+
+    @property
+    def max_ts(self) -> float:
+        """The latest timestamp recorded so far (start or end)."""
+        with self._lock:
+            return self._max_ts
 
     def by_category(self, cat: str) -> List[Span]:
         """Finished spans of one category."""

@@ -373,6 +373,45 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (when, self._eid, _Scheduled(fn)))
 
+    def every(
+        self,
+        period: float,
+        fn: Callable[[], None],
+        double_after: Optional[int] = None,
+    ) -> None:
+        """Run bare callback *fn* every *period* seconds, starting one
+        period from now, for as long as *other* work keeps the queue
+        alive.
+
+        The tick does not reschedule itself when it would be the only
+        queue entry left, so a drain-the-queue ``run()`` still
+        terminates — the periodic samplers built on this stop with the
+        workload instead of keeping the simulation alive forever.
+
+        With *double_after* set, the period doubles after every that
+        many ticks: short runs get fine-grained coverage from the
+        initial period while the lifetime tick count grows only
+        logarithmically with the run's simulated duration — a fixed
+        fine period would make sampling dominate the event count of a
+        multi-hour simulation.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        if double_after is not None and double_after < 1:
+            raise ValueError(f"double_after must be >= 1: {double_after}")
+        state = {"period": period, "ticks": 0}
+
+        def tick() -> None:
+            fn()
+            if double_after is not None:
+                state["ticks"] += 1
+                if state["ticks"] % double_after == 0:
+                    state["period"] *= 2.0
+            if self._queue or self._flush_pending:
+                self.call_in(state["period"], tick)
+
+        self.call_in(state["period"], tick)
+
     # -- factories ----------------------------------------------------------
 
     def event(self) -> Event:

@@ -362,6 +362,19 @@ class Network:
             rate = min(rate, self.flow_rate_cap)
         return rate
 
+    # -- telemetry accessors -------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """How many flows are currently in flight."""
+        return len(self._flows)
+
+    def aggregate_rate(self) -> float:
+        """The summed allocated rate of every in-flight flow (bytes/s) —
+        the fabric's instantaneous utilization, sampled by the
+        telemetry time series."""
+        return sum(flow.rate for flow in self._flows.values())
+
     # -- incremental allocator ----------------------------------------------
 
     def _start_flow_incremental(

@@ -46,7 +46,7 @@ class SimHarness:
 
     name = "des"
 
-    def __init__(self, replication=1, lease_s=30.0, bsfs=False):
+    def __init__(self, replication=1, lease_s=30.0, bsfs=False, obs=None):
         self.cluster = SimCluster(ClusterConfig(nodes=20, seed=SEED))
         names = self.cluster.names()
         roles = BlobSeerRoles(
@@ -61,19 +61,22 @@ class SimHarness:
                 self.cluster,
                 BSFSRoles(blobseer=roles, namespace_manager=names[15]),
                 cfg,
+                obs=obs,
             )
             self.sb = dep.blobseer
         else:
-            self.sb = SimBlobSeer(self.cluster, roles, cfg)
+            self.sb = SimBlobSeer(self.cluster, roles, cfg, obs=obs)
         self.providers = list(roles.data_providers)
         labels = {n: f"p{i}" for i, n in enumerate(self.providers)}
         self.eng = RecordingEngine(
             self.sb.engine, endpoint_label=lambda n: labels.get(n, n)
         )
         self.proto = BlobSeerProtocol(
-            self.eng, cfg, self.sb.provider_manager, self.sb.dht
+            self.eng, cfg, self.sb.provider_manager, self.sb.dht, obs=obs
         )
-        self.bsfs = BSFSProtocol(self.eng, self.proto) if bsfs else None
+        self.bsfs = (
+            BSFSProtocol(self.eng, self.proto, obs=obs) if bsfs else None
+        )
         self.clients = CLIENTS
         self.trace = self.eng.trace
 
@@ -105,14 +108,16 @@ class ThreadedHarness:
 
     name = "threaded"
 
-    def __init__(self, replication=1, lease_s=30.0, bsfs=False):
+    def __init__(self, replication=1, lease_s=30.0, bsfs=False, obs=None):
         cfg = _config(replication, lease_s)
         if bsfs:
-            dep = BSFS(config=cfg, n_providers=N_PROVIDERS, seed=SEED)
+            dep = BSFS(
+                config=cfg, n_providers=N_PROVIDERS, seed=SEED, obs=obs
+            )
             self.svc = dep.service
         else:
             self.svc = BlobSeerService(
-                config=cfg, n_providers=N_PROVIDERS, seed=SEED
+                config=cfg, n_providers=N_PROVIDERS, seed=SEED, obs=obs
             )
         self.providers = [f"provider-{i:03d}" for i in range(N_PROVIDERS)]
         labels = {n: f"p{i}" for i, n in enumerate(self.providers)}
@@ -120,9 +125,11 @@ class ThreadedHarness:
             self.svc.engine, endpoint_label=lambda n: labels.get(n, n)
         )
         self.proto = BlobSeerProtocol(
-            self.eng, cfg, self.svc.provider_manager, self.svc.dht
+            self.eng, cfg, self.svc.provider_manager, self.svc.dht, obs=obs
         )
-        self.bsfs = BSFSProtocol(self.eng, self.proto) if bsfs else None
+        self.bsfs = (
+            BSFSProtocol(self.eng, self.proto, obs=obs) if bsfs else None
+        )
         self.clients = CLIENTS
         self.trace = self.eng.trace
 

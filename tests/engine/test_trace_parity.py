@@ -1,0 +1,83 @@
+"""Trace parity: both runtimes emit the *same span tree* per scenario.
+
+Runs every RPC-parity scenario with an enabled Observability bundle on
+each harness and compares the two tracers' span forests in canonical
+form — (name, category, parent-index) in span *start* order. Span start
+coincides with op creation on both engines, so the ordering is
+runtime-independent for the single-driver scenarios here; timestamps,
+track names (node naming differs per runtime) and args are excluded,
+as are instant events (a threaded lease timer fires from its own
+thread, so instants interleave nondeterministically).
+"""
+
+import pytest
+
+from repro.obs import Observability
+
+from .test_parity import SCENARIOS, SimHarness, ThreadedHarness
+
+
+def _canonical(tracer):
+    """(name, cat, parent-index) per non-instant span, in start order."""
+    spans = [s for s in tracer.snapshot() if not s.instant]
+    index = {s.span_id: i for i, s in enumerate(spans)}
+    return [
+        (s.name, s.cat, index.get(s.parent_id) if s.parent_id else None)
+        for s in spans
+    ]
+
+
+def _run(harness_cls, scenario):
+    obs = Observability.on()
+    harness = harness_cls(obs=obs, **scenario.harness_kw)
+    scenario(harness)
+    return obs.tracer
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.__name__)
+def test_span_trees_identical_under_both_engines(scenario):
+    des = _canonical(_run(SimHarness, scenario))
+    threaded = _canonical(_run(ThreadedHarness, scenario))
+    assert des, "scenario traced nothing"
+    assert des == threaded
+    # the tree is real: engine op spans nested under protocol spans
+    assert any(name.startswith("engine.") for name, _cat, _p in des)
+    assert any(parent is not None for _name, _cat, parent in des)
+
+
+@pytest.mark.parametrize("harness_cls", [SimHarness, ThreadedHarness],
+                         ids=["des", "threaded"])
+def test_engine_op_spans_are_parented(harness_cls):
+    """No engine op span floats free: each nests under a protocol span."""
+    tracer = _run(harness_cls, SCENARIOS[0])
+    spans = {s.span_id: s for s in tracer.snapshot()}
+    engine_spans = [
+        s for s in spans.values() if s.name.startswith("engine.")
+    ]
+    assert engine_spans
+    for s in engine_spans:
+        assert s.parent_id in spans, f"{s.name} has no recorded parent"
+
+    # every op span both started and finished
+    for s in engine_spans:
+        assert s.end is not None and s.end >= s.start
+
+
+def test_failover_read_traces_replica_sweep():
+    """The failover scenario nests fetch attempts and backoff sleeps
+    under replica.sweep spans on both runtimes."""
+    for harness_cls in (SimHarness, ThreadedHarness):
+        tracer = _run(harness_cls, SCENARIOS[2])
+        spans = tracer.snapshot()
+        by_id = {s.span_id: s for s in spans}
+        sweeps = [s for s in spans if s.name == "replica.sweep"]
+        assert sweeps, harness_cls.name
+        fetch_parents = {
+            by_id[s.parent_id].name
+            for s in spans
+            if s.name == "engine.fetch" and s.parent_id in by_id
+        }
+        assert fetch_parents == {"replica.sweep"}, harness_cls.name
+        # two replicas crashed: at least one sweep recorded an error path
+        assert any("error" in s.args or s.args.get("attempts", 1) > 1
+                   for s in sweeps), harness_cls.name

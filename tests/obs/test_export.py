@@ -55,11 +55,24 @@ def test_chrome_trace_round_trip(tmp_path):
     assert "client-0" in thread_names
 
 
-def test_chrome_trace_skips_open_spans():
-    tracer = Tracer()
-    tracer.start("open-forever")
+def test_chrome_trace_flags_open_spans():
+    """Never-finished spans are emitted closed at the trace's latest
+    timestamp with still_open=true, and counted — not silently dropped."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    open_span = tracer.start("open-forever", track="client-0")
+    clock.t = 2.0
+    tracer.start("closed", track="client-0").finish()
+
     doc = chrome_trace(tracer)
-    assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+    xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert set(xs) == {"open-forever", "closed"}
+    flagged = xs["open-forever"]
+    assert flagged["args"]["still_open"] is True
+    assert flagged["dur"] == 2e6  # closed at max-ts (t=2.0)
+    assert "still_open" not in xs["closed"]["args"]
+    assert doc["metadata"]["spans_unfinished"] == 1
+    assert open_span.end is None  # the exporter did not mutate the span
 
 
 def test_text_summary_sections():

@@ -105,6 +105,58 @@ def test_use_clock_rebases_past_recorded_spans():
     assert sp2.end == sp2.start + 1.0
 
 
+def test_use_clock_rebasing_monotonic_across_three_deployments():
+    """Sequential deployments (each restarting its sim clock at zero)
+    lay out one after another with no overlap in the shared tracer."""
+    tracer = Tracer()
+    boundaries = []
+    for _dep in range(3):
+        clock = FakeClock()
+        tracer.use_clock(clock)
+        sp = tracer.start("dep-op")
+        clock.t = 5.0
+        sp.finish()
+        boundaries.append((sp.start, sp.end))
+    for (s0, e0), (s1, e1) in zip(boundaries, boundaries[1:]):
+        assert s1 >= e0  # no overlap between deployments
+        assert e1 - s1 == 5.0  # durations preserved
+    starts = [s for s, _e in boundaries]
+    assert starts == sorted(starts)
+    assert tracer.max_ts == boundaries[-1][1]
+
+
+def test_unbalanced_exit_leaves_stack_consistent():
+    """Exiting an outer span before its inner one (an error-path hazard
+    in threaded code) must not corrupt the thread's context stack."""
+    tracer = Tracer(clock=FakeClock())
+    outer = tracer.span("outer")
+    outer.__enter__()
+    inner = tracer.span("inner")
+    inner.__enter__()
+    # outer exits first: it is removed from the middle of the stack
+    outer.__exit__(None, None, None)
+    assert tracer.current() is inner
+    inner.__exit__(None, None, None)
+    assert tracer.current() is None
+    # both closed; a new span parents under nothing
+    assert tracer.open_spans() == []
+    assert tracer.start("after").parent_id is None
+
+
+def test_null_span_args_are_immutable():
+    """The shared NULL_SPAN must never accumulate state: a direct write
+    through its args mapping fails loudly instead of leaking globally."""
+    import pytest
+
+    assert dict(NULL_SPAN.args) == {}
+    with pytest.raises(TypeError):
+        NULL_SPAN.args["leak"] = 1  # type: ignore[index]
+    # the supported calls stay harmless no-ops
+    assert NULL_SPAN.set(a=1) is NULL_SPAN
+    assert NULL_SPAN.finish(b=2) is NULL_SPAN
+    assert dict(NULL_SPAN.args) == {}
+
+
 def test_threads_have_independent_context_stacks():
     tracer = Tracer()
     seen = {}

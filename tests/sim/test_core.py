@@ -281,3 +281,48 @@ def test_schedule_at_callback(env):
 
     env.run(env.process(proc()))
     assert fired == [4.0]
+
+
+class TestEvery:
+    def test_ticks_at_period_and_stops_with_the_workload(self, env):
+        ticks = []
+        env.every(1.0, lambda: ticks.append(env.now))
+
+        def proc():
+            yield env.timeout(3.5)
+
+        env.run(env.process(proc()))
+        # fires at 1, 2, 3; the tick at 3 sees the queue still alive
+        # (the 3.5 timeout), but the one scheduled for 4 never fires
+        # because run() ends when the driving process does
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_does_not_keep_an_idle_queue_alive(self, env):
+        ticks = []
+        env.every(1.0, lambda: ticks.append(env.now))
+
+        def proc():
+            yield env.timeout(2.0)
+
+        env.run()  # drain mode: no processes at all after this one
+        env.process(proc())
+        env.run()
+        # the tick that fires with nothing else queued stops ticking
+        assert ticks and ticks[-1] <= 3.0
+
+    def test_double_after_decimates_long_runs(self, env):
+        ticks = []
+        env.every(1.0, lambda: ticks.append(env.now), double_after=2)
+
+        def proc():
+            yield env.timeout(20.0)
+
+        env.run(env.process(proc()))
+        # periods: 1,1 then 2,2 then 4,4 ... -> ticks at 1,2,4,6,10,14
+        assert ticks == [1.0, 2.0, 4.0, 6.0, 10.0, 14.0]
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            env.every(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            env.every(1.0, lambda: None, double_after=0)
