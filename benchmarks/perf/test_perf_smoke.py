@@ -2,10 +2,13 @@
 
 Runs a reduced sweep through the bench harness for every figure listed
 in the committed baseline (Figure 3, the concurrent-append tentpole
-workload, and Figure 6, the data-join shuffle whose same-instant flow
-churn the coalesced reallocation batches) and fails if simulated
-events/sec regresses more than 30% against the committed floor, or if
-the incremental allocator stops beating the reference one outright.
+workload; Figure 6, the data-join shuffle whose same-instant flow
+churn the coalesced reallocation batches; and Figure 8, the open-loop
+scale sweep) and fails if simulated events/sec regresses more than 30%
+against the committed floor, or if the incremental allocator stops
+beating the reference one outright. The kernel microbench scenarios
+(:mod:`repro.experiments.kernelbench` — raw dispatch throughput with no
+workload) are gated the same way.
 
 Not part of the tier-1 suite (pyproject collects ``tests/`` only); CI
 runs it as a separate perf-smoke job::
@@ -52,6 +55,22 @@ def test_events_per_s_vs_baseline(baseline, figure):
         f"{fb.events_per_s:,.0f} events/s < {floor:,.0f} "
         f"(= {REGRESSION_FLOOR:.0%} of baseline "
         f"{baseline['figures'][figure]['events_per_s']:,.0f}); if the "
+        f"hardware class changed, re-baseline benchmarks/perf/baseline.json"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(_BASELINE.get("kernel", {})))
+def test_kernel_microbench_vs_baseline(baseline, scenario):
+    from repro.experiments.kernelbench import bench_kernel
+
+    kb = bench_kernel(scenario, repeats=2)
+    assert kb.events > 0, "kernel bench dispatched nothing"
+    floor = REGRESSION_FLOOR * baseline["kernel"][scenario]["events_per_s"]
+    assert kb.events_per_s >= floor, (
+        f"kernel scenario {scenario!r} regressed: "
+        f"{kb.events_per_s:,.0f} events/s < {floor:,.0f} "
+        f"(= {REGRESSION_FLOOR:.0%} of baseline "
+        f"{baseline['kernel'][scenario]['events_per_s']:,.0f}); if the "
         f"hardware class changed, re-baseline benchmarks/perf/baseline.json"
     )
 

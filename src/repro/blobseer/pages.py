@@ -105,16 +105,30 @@ def overlay(previous: Iterable[Fragment], new: Fragment) -> PageFragments:
     survive (clipped); the region ``[new.start, new.end)`` now belongs
     to *new*. The result stays sorted and non-overlapping.
     """
+    # The input is sorted and non-overlapping, so starts AND ends are
+    # strictly increasing: fragments wholly left of the new range come
+    # first, then (at most a few) overlapping ones, then wholly-right
+    # ones. The outside fragments survive by reference — only the
+    # overlap region needs clipping — which keeps the dominant append
+    # pattern (new fragment at the tail) O(list copy) instead of
+    # reconstructing every Fragment.
+    ns, ne = new.start, new.end
     out: List[Fragment] = []
+    tail: List[Fragment] = []
     for frag in previous:
-        left = frag.clip(0, new.start)
-        if left is not None:
-            out.append(left)
-        right = frag.clip(new.end, frag.end)
-        if right is not None:
-            out.append(right)
+        if frag.end <= ns:
+            out.append(frag)
+        elif frag.start >= ne:
+            tail.append(frag)
+        else:
+            left = frag.clip(0, ns)
+            if left is not None:
+                out.append(left)
+            right = frag.clip(ne, frag.end)
+            if right is not None:
+                tail.append(right)
     out.append(new)
-    out.sort(key=lambda f: f.start)
+    out.extend(tail)
     for a, b in zip(out, out[1:]):
         if a.end > b.start:  # pragma: no cover - invariant guard
             raise AssertionError(f"overlapping fragments {a} / {b}")

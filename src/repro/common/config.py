@@ -121,6 +121,14 @@ class ClusterConfig:
     flow_rate_cap: float = 270.0 * MiB
     #: aggregate backbone capacity, bytes/s (0 = non-blocking fabric)
     backbone_bandwidth: float = 0.0
+    #: number of racks in a two-level (rack switch + core) topology;
+    #: 0 keeps the paper's flat single-switch fabric. Nodes are assigned
+    #: round-robin, intra-rack traffic turns around at the rack switch,
+    #: and inter-rack traffic shares each rack's uplink/downlink (and
+    #: the backbone when configured).
+    racks: int = 0
+    #: rack uplink = downlink capacity, bytes/s (required when racks > 0)
+    rack_bandwidth: float = 0.0
     #: one-way network latency per RPC/flow, seconds
     latency: float = 0.0002
     #: sustained disk write bandwidth per node, bytes/s
@@ -167,6 +175,10 @@ class ClusterConfig:
             raise ValueError("page_cache_hit_ratio must be in [0, 1]")
         if self.flow_rate_cap < 0:
             raise ValueError("flow_rate_cap must be non-negative")
+        if self.racks < 0:
+            raise ValueError("racks must be non-negative")
+        if self.racks > 0 and self.rack_bandwidth <= 0:
+            raise ValueError("racks > 0 needs a positive rack_bandwidth")
         if self.latency < 0:
             raise ValueError("latency must be non-negative")
         if self.rpc_timeout <= 0:

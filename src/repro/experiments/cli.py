@@ -130,6 +130,16 @@ def main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="benchmark mode: wall time is the best of N runs (default: 3)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "run each figure under cProfile, dump pstats data to "
+            "PATH (figure name appended when several figures run) and "
+            "print the top functions by cumulative time"
+        ),
+    )
     args = parser.parse_args(argv)
 
     config = None
@@ -147,6 +157,13 @@ def main(argv: List[str] | None = None) -> int:
             config.cluster = replace(config.cluster, allocator=args.allocator)
 
     if args.bench_out is not None:
+        if args.profile is not None:
+            print(
+                "--profile distorts wall times; run it without "
+                "--bench-out",
+                file=sys.stderr,
+            )
+            return 2
         return _bench_main(args, config)
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
@@ -162,10 +179,23 @@ def main(argv: List[str] | None = None) -> int:
         # one fresh Observability per figure: each figure binds the
         # tracer clock to its own runtime (sim time vs wall clock)
         obs: Optional[Observability] = Observability.on() if observe else None
+        if args.profile is not None:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         if name == "filecount":
             result = fn(obs=obs)
         else:
             result = fn(scale=args.scale, config=config, obs=obs)
+        if args.profile is not None:
+            profiler.disable()
+            profile_path = _suffixed(args.profile, name, multi)
+            profiler.dump_stats(profile_path)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(15)
+            print(f"wrote {profile_path} (load with pstats or snakeviz)")
         results.append(result)
         print(result.to_text())
         if args.chart:
@@ -202,6 +232,7 @@ def main(argv: List[str] | None = None) -> int:
 def _bench_main(args, config) -> int:
     """``--bench-out``: time figures under both allocators, write JSON."""
     from .bench import DEFAULT_FIGURES, run_bench, to_json_dict
+    from .kernelbench import run_kernel_bench
 
     if args.figure == "all":
         figures = list(DEFAULT_FIGURES)
@@ -217,10 +248,19 @@ def _bench_main(args, config) -> int:
         repeats=args.bench_repeats,
         config=config,
     )
-    doc = to_json_dict(runs, scale=args.scale, repeats=args.bench_repeats)
+    kernel = run_kernel_bench(repeats=args.bench_repeats)
+    doc = to_json_dict(
+        runs, scale=args.scale, repeats=args.bench_repeats, kernel=kernel
+    )
     with open(args.bench_out, "w") as fp:
         json.dump(doc, fp, indent=2)
         fp.write("\n")
+    print("[kernel microbench]")
+    for kb in kernel:
+        print(
+            f"  {kb.scenario}: {kb.events} events in {kb.wall_s:.3f}s "
+            f"({kb.events_per_s:,.0f}/s)"
+        )
     for run in runs:
         print(f"[{run.allocator}]")
         for name, fb in run.figures.items():

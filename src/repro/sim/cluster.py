@@ -51,11 +51,23 @@ class SimCluster:
             allocator=config.allocator,
             obs=obs,
         )
+        rack_names: List[str] = []
+        if config.racks > 0:
+            for r in range(config.racks):
+                rack_name = f"rack-{r:02d}"
+                self.network.add_rack(rack_name, bandwidth=config.rack_bandwidth)
+                rack_names.append(rack_name)
         self.nodes: List[SimNode] = []
         self._by_name: Dict[str, SimNode] = {}
         for i in range(config.nodes):
             name = f"node-{i:03d}"
-            net = self.network.add_node(name, bandwidth=config.nic_bandwidth)
+            net = self.network.add_node(
+                name,
+                bandwidth=config.nic_bandwidth,
+                # round-robin rack assignment spreads every role's nodes
+                # across racks, like the real reservation would
+                rack=rack_names[i % len(rack_names)] if rack_names else None,
+            )
             disk = Disk(
                 self.env,
                 read_bandwidth=config.disk_read_bandwidth,

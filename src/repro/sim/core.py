@@ -10,11 +10,59 @@ The kernel is the substrate for the performance runtime — BlobSeer,
 HDFS and the Map/Reduce framework all run as simulated processes on a
 modeled cluster (see :mod:`repro.sim.network`, :mod:`repro.sim.disk`,
 :mod:`repro.sim.cluster`).
+
+Queue architecture (the 1M events/s push)
+-----------------------------------------
+
+The pending-entry store is a **two-tier calendar queue** instead of one
+global binary heap:
+
+* the *near tier* is a pair of FIFO rings (plain deques): ``_ring``
+  holds every entry scheduled **at the current instant** (delay 0 —
+  process resumes, event trigger deliveries, flush-scheduled work) and
+  ``_urgent`` holds priority-0 entries (interrupt delivery) that must
+  run before every same-instant normal entry. Same-instant bursts are
+  the dominant traffic of the coalescing flush hook (a reducer wave
+  starting hundreds of fetches, a barrier of flows completing
+  together); a deque append+popleft costs ~1/20th of a heap
+  push+pop+tuple, and the FIFO order *is* the scheduling order the old
+  heap produced via its monotone entry ids.
+* the *far tier* is the binary heap of ``(fire_time, eid, entry)``
+  tuples for strictly-future work (latency legs, service completions,
+  timeouts).
+
+Order equivalence with the single-heap kernel rests on one invariant:
+**no entry lands in the far heap at the current instant.** Every
+scheduling site routes ``fire_time <= now`` to the near ring (including
+the floating-point corner where ``now + tiny_delay == now``), so heap
+entries at the current instant can only have been scheduled at an
+*earlier* instant — they carry older entry ids than anything in the
+ring and are drained first. Within each tier FIFO order equals entry-id
+order. The drain order per instant is therefore: urgent ring, then
+heap entries at ``now``, then the normal ring — exactly the
+``(time, priority, eid)`` order of the old kernel, which the
+differential allocator oracle and the DES↔threaded parity suites
+re-verify.
+
+Queue entries are one of three shapes, cheapest first:
+
+* a **bare callable** — ``call_in``/``call_at`` fire-and-forget
+  callbacks (network latency legs, RPC service completions). No
+  wrapper object is allocated at all; the callable itself is the
+  entry.
+* a pooled :class:`_Resume` — resumes a process whose yield target had
+  already been processed. Recycled through a freelist immediately
+  after dispatch, so steady-state resume traffic allocates nothing.
+* an :class:`Event` — user-visible occurrences with waiter lists.
+  Events are *not* pooled: callers legitimately hold references after
+  processing (``.value``, ``.ok``), so recycling them would corrupt
+  observable state.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..common.errors import InterruptedProcessError, SimDeadlockError
@@ -23,28 +71,13 @@ from ..common.errors import InterruptedProcessError, SimDeadlockError
 ProcessGenerator = Generator["Event", Any, Any]
 
 
-class _Scheduled:
-    """Internal queue entry: run one bare callback at its fire time.
-
-    Much cheaper than a full :class:`Event` (no env back-pointer, no
-    waiter list, no trigger bookkeeping); used for the latency legs of
-    network transfers/RPCs and the flow-completion timer, where nothing
-    ever yields on the occurrence itself.
-    """
-
-    __slots__ = ("fn",)
-
-    def __init__(self, fn: Callable[[], None]) -> None:
-        self.fn = fn
-
-
 class _Resume:
     """Internal queue entry: resume a process that yielded an event
     which had already been processed.
 
     Replaces the throwaway ``immediate`` :class:`Event` the kernel used
-    to allocate per already-fired yield target — same queue position
-    (time ``now``, default priority, fresh eid), no Event ceremony.
+    to allocate per already-fired yield target. Instances are recycled
+    through :attr:`Environment._resume_pool` right after dispatch.
     """
 
     __slots__ = ("process", "ok", "value")
@@ -82,7 +115,7 @@ class Event:
         self.triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        self.env._ring.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -94,7 +127,7 @@ class Event:
         self.triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        self.env._ring.append(self)
         return self
 
     # -- inspection ---------------------------------------------------------
@@ -124,7 +157,9 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
+        # `not (delay >= 0)` also rejects NaN, which `delay < 0` lets
+        # through — a NaN fire time silently corrupts heap order
+        if not (delay >= 0):
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
@@ -144,7 +179,8 @@ class Interruption(Event):
         self.triggered = True
         self._ok = False
         self._value = InterruptedProcessError(cause)
-        self.env._schedule(self, priority=0)
+        # priority 0: delivered before every same-instant normal entry
+        self.env._urgent.append(self)
 
 
 class Process(Event):
@@ -165,7 +201,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
         # bootstrap: resume the generator at t=now on the next kernel step
-        env._schedule(_Resume(self, True, None))
+        env._schedule_resume(self, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -202,30 +238,31 @@ class Process(Event):
         self._do_step(event._ok, event._value)
 
     def _do_step(self, ok: bool, value: Any) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if ok:
                 target = self.generator.send(value)
             else:
                 target = self.generator.throw(value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
         if not isinstance(target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
         if target.processed:
             # already fired: resume on the next kernel step
-            self.env._schedule(_Resume(self, target._ok, target._value))
+            env._schedule_resume(self, target._ok, target._value)
         else:
             self._target = target
             target.callbacks.append(self._resume)
@@ -293,16 +330,30 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and the two-tier calendar queue."""
 
-    #: eid offset for priority-0 entries (interrupt delivery): subtracting
-    #: it sorts them before every same-time normal entry while keeping
-    #: them ordered among themselves, so heap entries stay 3-tuples
-    _URGENT = 1 << 62
+    __slots__ = (
+        "now",
+        "_heap",
+        "_ring",
+        "_urgent",
+        "_eid",
+        "_active_process",
+        "events_processed",
+        "_flush_hooks",
+        "_flush_pending",
+        "_resume_pool",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[tuple[float, int, Event]] = []
+        #: far tier: (fire_time, eid, entry) for strictly-future work
+        self._heap: List[tuple] = []
+        #: near tier: entries firing at the current instant, FIFO
+        self._ring: deque = deque()
+        #: priority-0 entries (interrupt delivery), before every normal
+        #: same-instant entry
+        self._urgent: deque = deque()
         self._eid = 0
         self._active_process: Process | None = None
         #: lifetime count of processed queue entries (events, scheduled
@@ -312,6 +363,8 @@ class Environment:
         #: end-of-timestep flush hooks (see :meth:`add_flush_hook`)
         self._flush_hooks: List[Callable[[], None]] = []
         self._flush_pending: bool = False
+        #: freelist of recycled _Resume entries
+        self._resume_pool: List[_Resume] = []
 
     # -- end-of-timestep flush ----------------------------------------------
 
@@ -342,14 +395,39 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        self._eid += 1
-        key = self._eid if priority else self._eid - self._URGENT
-        heapq.heappush(self._queue, (self.now + delay, key, event))
+        """Internal: enqueue an Event *delay* seconds from now."""
+        if not priority:
+            self._urgent.append(event)
+            return
+        if delay == 0.0:
+            self._ring.append(event)
+            return
+        when = self.now + delay
+        if when > self.now:
+            self._eid += 1
+            heapq.heappush(self._heap, (when, self._eid, event))
+        elif when == self.now:
+            # sub-resolution delay: now + delay rounded back to now
+            self._ring.append(event)
+        else:
+            raise ValueError(f"negative schedule delay: {delay}")
+
+    def _schedule_resume(self, process: "Process", ok: bool, value: Any) -> None:
+        """Enqueue a (pooled) resume of *process* at the current instant."""
+        pool = self._resume_pool
+        if pool:
+            entry = pool.pop()
+            entry.process = process
+            entry.ok = ok
+            entry.value = value
+        else:
+            entry = _Resume(process, ok, value)
+        self._ring.append(entry)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
         """Run *callback* at absolute simulated time *when*; returns the
         event so callers can also wait on it."""
-        if when < self.now:
+        if not (when >= self.now):
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
         ev = Timeout(self, when - self.now)
         ev.callbacks.append(lambda _ev: callback())
@@ -357,21 +435,36 @@ class Environment:
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> None:
         """Run bare callback *fn* after *delay* seconds — the fast path
-        for fire-and-forget scheduling (no Event is allocated, so the
-        occurrence cannot be yielded on)."""
-        if delay < 0:
+        for fire-and-forget scheduling (no object is allocated at all;
+        the callable itself is the queue entry, so the occurrence cannot
+        be yielded on). Rejects negative and NaN delays — an entry
+        behind ``now`` would corrupt the calendar-queue order."""
+        if delay > 0.0:
+            when = self.now + delay
+            if when > self.now:
+                self._eid += 1
+                heapq.heappush(self._heap, (when, self._eid, fn))
+            else:
+                # delay too small for the clock to resolve: fire this instant
+                self._ring.append(fn)
+        elif delay == 0.0:
+            self._ring.append(fn)
+        else:
             raise ValueError(f"negative delay: {delay}")
-        self._eid += 1
-        heapq.heappush(self._queue, (self.now + delay, self._eid, _Scheduled(fn)))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run bare callback *fn* at absolute time *when* — unlike
         ``call_in(when - now, …)`` the fire time is *when* to the bit,
-        which the network's completion heap relies on."""
-        if when < self.now:
-            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
-        self._eid += 1
-        heapq.heappush(self._queue, (when, self._eid, _Scheduled(fn)))
+        which the network's completion heap relies on. Rejects past (and
+        NaN) deadlines instead of silently scheduling behind ``now``."""
+        now = self.now
+        if when > now:
+            self._eid += 1
+            heapq.heappush(self._heap, (when, self._eid, fn))
+        elif when == now:
+            self._ring.append(fn)
+        else:
+            raise ValueError(f"cannot schedule in the past ({when} < {now})")
 
     def every(
         self,
@@ -395,7 +488,7 @@ class Environment:
         fine period would make sampling dominate the event count of a
         multi-hour simulation.
         """
-        if period <= 0:
+        if not (period > 0):
             raise ValueError(f"period must be positive: {period}")
         if double_after is not None and double_after < 1:
             raise ValueError(f"double_after must be >= 1: {double_after}")
@@ -407,7 +500,7 @@ class Environment:
                 state["ticks"] += 1
                 if state["ticks"] % double_after == 0:
                     state["period"] *= 2.0
-            if self._queue or self._flush_pending:
+            if self._heap or self._ring or self._urgent or self._flush_pending:
                 self.call_in(state["period"], tick)
 
         self.call_in(state["period"], tick)
@@ -436,33 +529,59 @@ class Environment:
 
     # -- execution ----------------------------------------------------------
 
+    def _pending(self) -> bool:
+        """Any queue entry at all (either tier)?"""
+        return bool(self._urgent or self._ring or self._heap)
+
     def step(self) -> None:
-        """Process the next scheduled event."""
-        if self._flush_pending and (
-            not self._queue or self._queue[0][0] > self.now
+        """Process the next scheduled entry (running a pending flush
+        first when the current instant is exhausted)."""
+        urgent = self._urgent
+        ring = self._ring
+        heap = self._heap
+        now = self.now
+        if self._flush_pending and not urgent and not ring and (
+            not heap or heap[0][0] > now
         ):
             self._run_flush_hooks()
-        when, _key, event = heapq.heappop(self._queue)
-        if when < self.now:  # pragma: no cover - defensive
-            raise RuntimeError("time went backwards")
-        self.now = when
+        # drain order within the instant: urgent ring, then heap entries
+        # scheduled at `now` from earlier instants (older entry ids),
+        # then the normal ring — see the module docstring
+        if urgent:
+            entry = urgent.popleft()
+        elif heap and heap[0][0] <= now:
+            entry = heapq.heappop(heap)[2]
+        elif ring:
+            entry = ring.popleft()
+        elif heap:
+            when, _eid, entry = heapq.heappop(heap)
+            self.now = when
+        else:
+            raise IndexError("step from an empty queue")
         self.events_processed += 1
-        cls = event.__class__
-        if cls is _Scheduled:
-            event.fn()
-            return
+        self._dispatch(entry)
+
+    def _dispatch(self, entry: Any) -> None:
+        """Run one queue entry (shared by step(); run() inlines this)."""
+        cls = entry.__class__
         if cls is _Resume:
-            event.process._do_step(event.ok, event.value)
+            process, ok, value = entry.process, entry.ok, entry.value
+            entry.process = entry.value = None
+            self._resume_pool.append(entry)
+            process._do_step(ok, value)
             return
-        callbacks = event.callbacks
-        event.callbacks = None
-        event.processed = True
-        if callbacks:
-            for cb in callbacks:
-                cb(event)
-        elif not event._ok and not isinstance(event, Interruption):
-            # an unwaited-for failure must not pass silently
-            raise event._value
+        if cls is Event or isinstance(entry, Event):
+            callbacks = entry.callbacks
+            entry.callbacks = None
+            entry.processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(entry)
+            elif not entry._ok and not isinstance(entry, Interruption):
+                # an unwaited-for failure must not pass silently
+                raise entry._value
+            return
+        entry()  # bare callable from call_in/call_at
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -474,72 +593,88 @@ class Environment:
           :class:`SimDeadlockError` if the queue drains first.
         """
         if isinstance(until, Event):
-            # the hot loop of every experiment driver: the step() body is
-            # inlined so each queue entry costs one heappop + dispatch,
-            # with the events_processed tally kept in a local
+            # the hot loop of every experiment driver: dispatch is fully
+            # inlined so a near-tier entry costs one deque popleft plus
+            # the callback itself, with the events_processed tally kept
+            # in a local
             target = until
-            queue = self._queue
+            urgent = self._urgent
+            ring = self._ring
+            heap = self._heap
             pop = heapq.heappop
+            resume_pool = self._resume_pool
             processed = 0
             try:
                 while not target.processed:
-                    if self._flush_pending and (
-                        not queue or queue[0][0] > self.now
-                    ):
-                        # end of timestep: run deferred work (e.g. the
+                    if urgent:
+                        entry = urgent.popleft()
+                    elif heap and heap[0][0] <= self.now:
+                        entry = pop(heap)[2]
+                    elif ring:
+                        entry = ring.popleft()
+                    else:
+                        # instant exhausted: run deferred work (e.g. the
                         # network's coalesced reallocation) before time
                         # advances, then re-peek — the flush may have
                         # scheduled same-instant entries
-                        self._run_flush_hooks()
-                        continue
-                    if not queue:
-                        raise SimDeadlockError(
-                            f"event queue drained before {target!r} fired"
-                        )
-                    when, _key, event = pop(queue)
-                    self.now = when
+                        if self._flush_pending:
+                            self._run_flush_hooks()
+                            continue
+                        if not heap:
+                            raise SimDeadlockError(
+                                f"event queue drained before {target!r} fired"
+                            )
+                        when, _eid, entry = pop(heap)
+                        self.now = when
                     processed += 1
-                    cls = event.__class__
-                    if cls is _Scheduled:
-                        event.fn()
-                        continue
+                    cls = entry.__class__
                     if cls is _Resume:
-                        event.process._do_step(event.ok, event.value)
+                        process, ok, value = entry.process, entry.ok, entry.value
+                        entry.process = entry.value = None
+                        resume_pool.append(entry)
+                        process._do_step(ok, value)
                         continue
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event.processed = True
-                    if callbacks:
-                        for cb in callbacks:
-                            cb(event)
-                    elif not event._ok and not isinstance(event, Interruption):
-                        raise event._value
+                    if cls is Event or isinstance(entry, Event):
+                        callbacks = entry.callbacks
+                        entry.callbacks = None
+                        entry.processed = True
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(entry)
+                        elif not entry._ok and not isinstance(entry, Interruption):
+                            raise entry._value
+                        continue
+                    entry()
             finally:
                 self.events_processed += processed
             if not target._ok:
                 raise target._value
             return target._value
         if until is None:
-            while self._queue or self._flush_pending:
-                if not self._queue:
+            while True:
+                if self._pending():
+                    self.step()
+                elif self._flush_pending:
                     # a pending flush may arm new work (e.g. deferred
                     # flow-completion timers) before the queue drains
                     self._run_flush_hooks()
-                    continue
-                self.step()
-            return None
+                else:
+                    return None
         horizon = float(until)
         if horizon < self.now:
             raise ValueError(f"until={horizon} is in the past (now={self.now})")
+        heap = self._heap
         while True:
-            if self._flush_pending and (
-                not self._queue or self._queue[0][0] > self.now
-            ):
+            if self._urgent or self._ring:
+                self.step()
+                continue
+            if self._flush_pending and (not heap or heap[0][0] > self.now):
                 self._run_flush_hooks()
                 continue
-            if not (self._queue and self._queue[0][0] <= horizon):
-                break
-            self.step()
+            if heap and heap[0][0] <= horizon:
+                self.step()
+                continue
+            break
         self.now = horizon
         return None
 

@@ -89,6 +89,8 @@ class NetNode:
     name: str
     up_capacity: float
     down_capacity: float
+    #: rack this node is attached to (None on a flat topology)
+    rack: Optional[str] = None
     #: lifetime counters, for metrics/debugging
     bytes_sent: float = 0.0
     bytes_received: float = 0.0
@@ -98,6 +100,9 @@ class NetNode:
     #: the node's shareable NIC directions (set by :meth:`Network.add_node`)
     _up_res: object = field(default=None, repr=False)
     _down_res: object = field(default=None, repr=False)
+    #: the rack's uplink/downlink resources (None on a flat topology)
+    _rack_up: object = field(default=None, repr=False)
+    _rack_down: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.up_capacity <= 0 or self.down_capacity <= 0:
@@ -112,6 +117,10 @@ class _Flow:
     remaining: float
     event: Event
     local: bool
+    #: the shareable capacities this flow crosses, computed once at flow
+    #: start (src up-NIC, rack hops when the endpoints sit in different
+    #: racks, backbone, dst down-NIC); empty for local flows
+    resources: Tuple[_NicResource, ...] = ()
     rate: float = 0.0
     #: last instant this flow's progress was settled into ``remaining``
     last_update: float = 0.0
@@ -164,6 +173,9 @@ class Network:
             if backbone_bandwidth > 0
             else None
         )
+        #: rack name -> (uplink resource, downlink resource); empty on a
+        #: flat (single-switch) topology
+        self._racks: Dict[str, Tuple[_NicResource, _NicResource]] = {}
         #: completion heap: (absolute completion time, fid, epoch)
         self._completions: List[Tuple[float, int, int]] = []
         self._armed_at: Optional[float] = None
@@ -196,24 +208,64 @@ class Network:
 
     # -- topology -----------------------------------------------------------
 
+    def add_rack(
+        self,
+        name: str,
+        bandwidth: float | None = None,
+        up: float | None = None,
+        down: float | None = None,
+    ) -> None:
+        """Register a rack switch with an uplink/downlink to the core.
+
+        Racks turn the flat single-switch fabric into a two-level tree
+        (the standard cluster shape the paper's Grid'5000 Orsay site
+        approximates, and the regime where a multi-rack scale experiment
+        becomes meaningful): traffic between two nodes of the *same*
+        rack crosses only the endpoint NICs, while inter-rack traffic
+        additionally shares the source rack's uplink, the optional
+        backbone, and the destination rack's downlink. Give either a
+        symmetric *bandwidth* or explicit *up*/*down* capacities.
+        """
+        if name in self._racks:
+            raise ValueError(f"duplicate rack {name!r}")
+        if bandwidth is not None:
+            up = down = bandwidth
+        if up is None or down is None:
+            raise ValueError("specify bandwidth= or both up= and down=")
+        if up <= 0 or down <= 0:
+            raise ValueError(f"rack capacities must be positive on {name!r}")
+        self._racks[name] = (
+            _NicResource((name, "rack-up"), up),
+            _NicResource((name, "rack-down"), down),
+        )
+
     def add_node(
         self,
         name: str,
         bandwidth: float | None = None,
         up: float | None = None,
         down: float | None = None,
+        rack: Optional[str] = None,
     ) -> NetNode:
         """Register a node. Give either a symmetric *bandwidth* or
-        explicit *up*/*down* capacities."""
+        explicit *up*/*down* capacities; *rack* attaches the node to a
+        rack previously created with :meth:`add_rack`."""
         if name in self.nodes:
             raise ValueError(f"duplicate node {name!r}")
         if bandwidth is not None:
             up = down = bandwidth
         if up is None or down is None:
             raise ValueError("specify bandwidth= or both up= and down=")
-        node = NetNode(name, up, down)
+        node = NetNode(name, up, down, rack=rack)
         node._up_res = _NicResource((name, "up"), up)
         node._down_res = _NicResource((name, "down"), down)
+        if rack is not None:
+            try:
+                node._rack_up, node._rack_down = self._racks[rack]
+            except KeyError:
+                raise ValueError(
+                    f"unknown rack {rack!r} (add_rack it first)"
+                ) from None
         self.nodes[name] = node
         return node
 
@@ -311,11 +363,36 @@ class Network:
 
     # -- shared internals ----------------------------------------------------
 
-    def _flow_resources(self, flow: _Flow) -> List[_NicResource]:
-        res = [flow.src._up_res, flow.dst._down_res]
+    def _resources_for(
+        self, src: NetNode, dst: NetNode
+    ) -> Tuple[_NicResource, ...]:
+        """The shareable capacities a src→dst flow crosses, in path
+        order. On a flat topology: the two endpoint NICs plus the
+        optional backbone (byte-identical to the pre-rack model). With
+        racks: intra-rack flows stay within the rack switch (endpoint
+        NICs only), inter-rack flows add the source rack's uplink, the
+        backbone, and the destination rack's downlink."""
+        src_rack = src.rack
+        dst_rack = dst.rack
+        if src_rack == dst_rack:
+            # same rack, or a flat topology (both None). Intra-rack
+            # traffic turns around at the rack switch and never touches
+            # the core; on a flat topology the backbone (when modeled)
+            # is the single switch every flow crosses.
+            if src_rack is None and self._backbone is not None:
+                return (src._up_res, self._backbone, dst._down_res)
+            return (src._up_res, dst._down_res)
+        # inter-rack (or rack <-> rackless core node): whichever rack
+        # hops exist join the path
+        res = [src._up_res]
+        if src._rack_up is not None:
+            res.append(src._rack_up)
         if self._backbone is not None:
             res.append(self._backbone)
-        return res
+        if dst._rack_down is not None:
+            res.append(dst._rack_down)
+        res.append(dst._down_res)
+        return tuple(res)
 
     def _register_flow(self, flow: _Flow) -> None:
         self._flows[flow.fid] = flow
@@ -334,7 +411,7 @@ class Network:
             if not bucket:
                 del self._pair_flows[pair]
         if not flow.local and self._incremental:
-            for res in self._flow_resources(flow):
+            for res in flow.resources:
                 res.members.discard(flow.fid)
 
     def _start_flow(
@@ -344,13 +421,15 @@ class Network:
             self._start_flow_incremental(src, dst, nbytes, done)
             return
         self._advance()
+        local = src is dst
         flow = _Flow(
             fid=next(self._fid),
             src=src,
             dst=dst,
             remaining=float(nbytes),
             event=done,
-            local=(src is dst),
+            local=local,
+            resources=() if local else self._resources_for(src, dst),
             last_update=self.env.now,
         )
         self._register_flow(flow)
@@ -381,25 +460,27 @@ class Network:
         self, src: NetNode, dst: NetNode, nbytes: float, done: Event
     ) -> None:
         now = self.env.now
+        local = src is dst
         flow = _Flow(
             fid=next(self._fid),
             src=src,
             dst=dst,
             remaining=float(nbytes),
             event=done,
-            local=(src is dst),
+            local=local,
+            resources=() if local else self._resources_for(src, dst),
             last_update=now,
         )
         self._register_flow(flow)
-        if flow.local:
+        if local:
             flow.rate = self._local_rate()
             self._push_completion(flow, now)
             self._dirty_arm = True
         else:
-            resources = self._flow_resources(flow)
-            for res in resources:
-                res.members.add(flow.fid)
-            self._dirty.update(resources)
+            fid = flow.fid
+            for res in flow.resources:
+                res.members.add(fid)
+            self._dirty.update(flow.resources)
             self._pending_changes += 1
         self.env.request_flush()
 
@@ -446,7 +527,6 @@ class Network:
         seen_fids: Set[int] = set()
         stack = list(seeds)
         flows = self._flows
-        backbone = self._backbone
         while stack:
             res = stack.pop()
             for fid in res.members:
@@ -455,17 +535,10 @@ class Network:
                 seen_fids.add(fid)
                 flow = flows[fid]
                 comp.append(flow)
-                up = flow.src._up_res
-                if up not in seen_res:
-                    seen_res.add(up)
-                    stack.append(up)
-                down = flow.dst._down_res
-                if down not in seen_res:
-                    seen_res.add(down)
-                    stack.append(down)
-                if backbone is not None and backbone not in seen_res:
-                    seen_res.add(backbone)
-                    stack.append(backbone)
+                for other in flow.resources:
+                    if other not in seen_res:
+                        seen_res.add(other)
+                        stack.append(other)
         return comp
 
     def _realloc(self, seeds: List[_NicResource]) -> None:
@@ -504,8 +577,17 @@ class Network:
         :meth:`_compute_rates_reference` (differentially tested to 1e-6
         by ``check_reference``).
         """
-        backbone = self._backbone
         cap_limit = self.flow_rate_cap
+        # fast path 0: a single-flow component — the degenerate
+        # one-flow-per-resource shape that dominates open-loop traffic
+        # (a lone append touching otherwise-idle NICs). No solver state,
+        # just the path's narrowest capacity.
+        if len(comp) == 1:
+            flow = comp[0]
+            rate = min(res.capacity for res in flow.resources)
+            if cap_limit > 0 and cap_limit < rate:
+                rate = cap_limit
+            return {flow.fid: rate}
 
         # per-resource solver state, settled lazily at `res_level[i]`:
         # residual capacity, unfrozen member count, member flows, epoch
@@ -518,12 +600,7 @@ class Network:
         res_epoch: List[int] = []
 
         for flow in comp:
-            resources = (
-                (flow.src._up_res, flow.dst._down_res)
-                if backbone is None
-                else (flow.src._up_res, flow.dst._down_res, backbone)
-            )
-            for res in resources:
+            for res in flow.resources:
                 i = res_index.get(res)
                 if i is None:
                     i = res_index[res] = len(res_cap)
@@ -577,12 +654,7 @@ class Network:
                     continue
                 rates[flow.fid] = level
                 n_frozen += 1
-                other = (
-                    (flow.src._up_res, flow.dst._down_res)
-                    if backbone is None
-                    else (flow.src._up_res, flow.dst._down_res, backbone)
-                )
-                for res in other:
+                for res in flow.resources:
                     j = res_index[res]
                     if res_level[j] < level:
                         # settle consumption up to the new common level
@@ -651,7 +723,7 @@ class Network:
                 self._unregister_flow(flow)
                 finished.append(flow)
                 if not flow.local:
-                    seeds.extend(self._flow_resources(flow))
+                    seeds.extend(flow.resources)
                     self._pending_changes += 1
             else:  # pragma: no cover - fp drift between heap entry and settle
                 flow.epoch += 1
@@ -741,10 +813,11 @@ class Network:
         """Progressive-filling max-min fair allocation over NIC capacities,
         with an optional per-flow rate cap — the original full recompute.
 
-        Every non-local flow consumes its source's up-capacity, its
-        destination's down-capacity, and (when configured) the shared
-        backbone; a flow additionally freezes once it reaches the
-        per-flow cap. Local flows run at the loopback bandwidth.
+        Every non-local flow consumes each shareable capacity on its
+        path — ``flow.resources``: endpoint NICs, rack uplinks/downlinks
+        when the endpoints sit in different racks, and (when configured)
+        the shared backbone; a flow additionally freezes once it reaches
+        the per-flow cap. Local flows run at the loopback bandwidth.
 
         Sets ``flow.rate`` on every active flow. The incremental
         allocator is the scoped equivalent and is differentially tested
@@ -762,28 +835,24 @@ class Network:
         if not unfrozen:
             return
 
-        # node-direction resources: (node-name, "up"/"down") plus backbone
+        # path resources keyed by their stable (name, direction) keys so
+        # this recompute shares no mutable solver state with the
+        # incremental allocator it checks
         cap: Dict[Hashable, float] = {}
         members: Dict[Hashable, Set[int]] = {}
 
-        def register(key: Hashable, capacity: float, fid: int) -> None:
-            if key not in cap:
-                cap[key] = capacity
-                members[key] = set()
-            members[key].add(fid)
-
         for fid in unfrozen:
             flow = self._flows[fid]
-            register((flow.src.name, "up"), flow.src.up_capacity, fid)
-            register((flow.dst.name, "down"), flow.dst.down_capacity, fid)
-            if self.backbone_bandwidth > 0:
-                register(("__backbone__", None), self.backbone_bandwidth, fid)
+            for res in flow.resources:
+                key = res.key
+                if key not in cap:
+                    cap[key] = res.capacity
+                    members[key] = set()
+                members[key].add(fid)
 
         def flow_keys(flow: _Flow):
-            yield (flow.src.name, "up")
-            yield (flow.dst.name, "down")
-            if self.backbone_bandwidth > 0:
-                yield ("__backbone__", None)
+            for res in flow.resources:
+                yield res.key
 
         while unfrozen:
             # fair-share increment is set by the most contended resource …
@@ -825,11 +894,6 @@ class Network:
             unfrozen -= frozen_now
 
     # -- introspection -------------------------------------------------------
-
-    @property
-    def active_flows(self) -> int:
-        """Number of in-flight transfers."""
-        return len(self._flows)
 
     def active_flows_between(self, src: str, dst: str) -> int:
         """Number of in-flight transfers from *src* to *dst*."""

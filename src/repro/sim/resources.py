@@ -14,7 +14,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Deque, Generator, Optional
 
-from .core import Environment, Event, _Scheduled
+from .core import Environment, Event
 
 
 class Request(Event):
@@ -34,6 +34,8 @@ class Request(Event):
 
 class Resource:
     """A counted resource with FIFO queueing."""
+
+    __slots__ = ("env", "capacity", "in_use", "_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -122,15 +124,18 @@ class Resource:
             done._value = value
             env._schedule(done, delay=latency)
 
-        queue = env._queue
+        heap = env._heap
 
         def start_service() -> None:
             # inlined call_in(service, serviced): this is the hottest
-            # scheduling site in the kernel
-            env._eid += 1
-            heapq.heappush(
-                queue, (env.now + service, env._eid, _Scheduled(serviced))
-            )
+            # scheduling site in the kernel — the callable is the queue
+            # entry, no wrapper allocation
+            when = env.now + service
+            if when > env.now:
+                env._eid += 1
+                heapq.heappush(heap, (when, env._eid, serviced))
+            else:
+                env._ring.append(serviced)
 
         def arrive() -> None:
             if self.in_use < self.capacity:
@@ -143,10 +148,12 @@ class Resource:
                 self._waiting.append(start_service)
 
         if latency:
-            env._eid += 1
-            heapq.heappush(
-                queue, (env.now + latency, env._eid, _Scheduled(arrive))
-            )
+            when = env.now + latency
+            if when > env.now:
+                env._eid += 1
+                heapq.heappush(heap, (when, env._eid, arrive))
+            else:
+                env._ring.append(arrive)
         else:
             # a zero-latency round trip (local service, e.g. a disk)
             # joins the queue at the call site, like the generator-based
@@ -214,18 +221,19 @@ def batch_round_trips(
 
         return serviced
 
-    queue = env._queue
+    heap = env._heap
 
     def arrive() -> None:
         for res in resources:
             serviced = make_serviced(res)
             if res.in_use < res.capacity:
                 res.in_use += 1
-                env._eid += 1
-                heapq.heappush(
-                    queue,
-                    (env.now + service, env._eid, _Scheduled(serviced)),
-                )
+                when = env.now + service
+                if when > env.now:
+                    env._eid += 1
+                    heapq.heappush(heap, (when, env._eid, serviced))
+                else:
+                    env._ring.append(serviced)
             else:
                 res._waiting.append(
                     lambda s=serviced: env.call_in(service, s)
@@ -240,6 +248,8 @@ def batch_round_trips(
 class Lock(Resource):
     """One-slot resource: plain mutual exclusion."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment) -> None:
         super().__init__(env, capacity=1)
 
@@ -251,6 +261,8 @@ class Store:
     event that fires with the oldest item once one is available. Getters
     are served FIFO.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

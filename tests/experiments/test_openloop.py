@@ -1,0 +1,171 @@
+"""Tests for the open-loop (fig8) scale experiment and its harness."""
+
+import json
+
+import pytest
+
+from repro.common.config import (
+    BlobSeerConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    HDFSConfig,
+)
+from repro.common.units import MiB
+from repro.experiments.openloop import (
+    OpenLoopPoint,
+    _rack_config,
+    find_knee,
+    open_loop_sweep,
+    run_open_loop,
+)
+from repro.workloads.generators import poisson_arrivals
+
+
+def small_config(reps=1):
+    return ExperimentConfig(
+        cluster=ClusterConfig(nodes=24),
+        blobseer=BlobSeerConfig(page_size=16 * MiB, metadata_providers=4),
+        hdfs=HDFSConfig(chunk_size=16 * MiB),
+        repetitions=reps,
+    )
+
+
+class TestRackConfig:
+    def test_flat_config_lifted_onto_racks(self):
+        cfg = _rack_config(small_config())
+        assert cfg.cluster.racks > 0
+        assert cfg.cluster.rack_bandwidth > 0
+        cfg.validate()
+
+    def test_explicit_racks_preserved(self):
+        base = small_config()
+        base.cluster.racks = 3
+        base.cluster.rack_bandwidth = 123.0
+        cfg = _rack_config(base)
+        assert cfg.cluster.racks == 3
+        assert cfg.cluster.rack_bandwidth == 123.0
+
+
+class TestRunOpenLoop:
+    def test_completes_every_scheduled_op(self):
+        cfg = _rack_config(small_config())
+        schedule = poisson_arrivals(40.0, 0.5, 50, seed=cfg.cluster.seed)
+        point = run_open_loop(cfg, schedule, append_bytes=1 * MiB, n_files=4)
+        assert point.ops == len(schedule)
+        assert len(point.latencies_s) == point.ops
+        assert all(l > 0.0 for l in point.latencies_s)
+        assert point.goodput_ops_s > 0.0
+        assert point.makespan_s > 0.0
+        assert point.p99_latency_s >= point.p50_latency_s > 0.0
+        assert point.clients == schedule.distinct_clients
+
+    def test_deterministic_across_runs(self):
+        cfg = _rack_config(small_config())
+        schedule = poisson_arrivals(30.0, 0.5, 20, seed=cfg.cluster.seed)
+        a = run_open_loop(cfg, schedule, n_files=2)
+        b = run_open_loop(cfg, schedule, n_files=2)
+        assert a.latencies_s == b.latencies_s
+        assert a.makespan_s == b.makespan_s
+
+
+class TestSweep:
+    def test_sweep_shapes_and_validation(self):
+        points = open_loop_sweep(
+            [20.0, 60.0],
+            small_config(),
+            duration=0.4,
+            n_clients=16,
+            n_files=2,
+        )
+        assert len(points) == 2
+        assert points[0].offered_ops_s < points[1].offered_ops_s
+        with pytest.raises(ValueError):
+            open_loop_sweep(
+                [0.0], small_config(), duration=0.4, n_clients=4
+            )
+        with pytest.raises(ValueError):
+            open_loop_sweep(
+                [10.0],
+                small_config(),
+                duration=0.4,
+                n_clients=4,
+                arrivals="nope",
+            )
+
+    def test_lastfm_arrivals_accepted(self):
+        points = open_loop_sweep(
+            [40.0],
+            small_config(),
+            duration=0.4,
+            n_clients=8,
+            n_files=2,
+            arrivals="lastfm",
+        )
+        assert points[0].ops > 0
+
+
+class TestFindKnee:
+    def _pt(self, offered, goodput):
+        return OpenLoopPoint(
+            offered_ops_s=offered,
+            ops=10,
+            clients=10,
+            goodput_ops_s=goodput,
+            p50_latency_s=0.01,
+            p99_latency_s=0.02,
+            mean_latency_s=0.01,
+            makespan_s=1.0,
+        )
+
+    def test_first_underperforming_point(self):
+        pts = [self._pt(100, 99), self._pt(200, 170), self._pt(400, 180)]
+        assert find_knee(pts) is pts[1]
+
+    def test_none_when_keeping_up(self):
+        pts = [self._pt(100, 99), self._pt(200, 195)]
+        assert find_knee(pts) is None
+
+
+class TestBenchDocument:
+    def test_bench_json_has_no_nan(self):
+        from repro.experiments.bench import bench_figure, to_json_dict
+        from repro.experiments.kernelbench import run_kernel_bench
+
+        fb = bench_figure("fig3", "incremental", scale="quick", repeats=1)
+        # a run with no scope samples must report 0.0, never NaN
+        assert fb.realloc_scope_mean == fb.realloc_scope_mean  # not NaN
+        assert fb.realloc_scope_mean >= 0.0
+        from repro.experiments.bench import BenchRun
+
+        run = BenchRun(allocator="incremental", figures={"fig3": fb})
+        kernel = run_kernel_bench(
+            scenarios=("ring",), n_events=2_000, repeats=1
+        )
+        doc = to_json_dict([run], scale="quick", repeats=1, kernel=kernel)
+        # allow_nan=False raises on any NaN/inf anywhere in the document
+        text = json.dumps(doc, allow_nan=False)
+        assert "kernel_microbench" in doc
+        assert doc["kernel_microbench"]["ring"]["events"] >= 2_000
+        assert json.loads(text)["schema"] == "repro-bench-sim/v3"
+
+
+class TestKernelBench:
+    def test_scenarios_run_and_count(self):
+        from repro.experiments.kernelbench import SCENARIOS, bench_kernel
+
+        for scenario in SCENARIOS:
+            res = bench_kernel(scenario, n_events=3_000, repeats=1)
+            assert res.scenario == scenario
+            # every scenario dispatches at least the requested entries
+            assert res.events >= 3_000
+            assert res.events_per_s > 0.0
+
+    def test_validation(self):
+        from repro.experiments.kernelbench import bench_kernel
+
+        with pytest.raises(ValueError):
+            bench_kernel("nope", n_events=10)
+        with pytest.raises(ValueError):
+            bench_kernel("ring", n_events=0)
+        with pytest.raises(ValueError):
+            bench_kernel("ring", n_events=10, repeats=0)

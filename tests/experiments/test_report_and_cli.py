@@ -96,7 +96,7 @@ class TestCLI:
         rc = cli_main(["fig3", "--bench-out", str(out), "--bench-repeats", "1"])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench-sim/v2"
+        assert doc["schema"] == "repro-bench-sim/v3"
         allocs = [r["allocator"] for r in doc["runs"]]
         assert allocs == ["reference", "incremental"]
         for run in doc["runs"]:
@@ -109,11 +109,37 @@ class TestCLI:
                 assert fig["flushes"] > 0
                 assert fig["coalesced_changes"] >= fig["flushes"]
         assert "fig3" in doc["speedup"] and "total" in doc["speedup"]
+        kernel = doc["kernel_microbench"]
+        for scenario in ("ring", "timer", "process", "mixed"):
+            assert kernel[scenario]["events"] > 0
+            assert kernel[scenario]["events_per_s"] > 0
         assert "speedup" in capsys.readouterr().out
 
     def test_bench_out_rejects_filecount(self, capsys, tmp_path):
         rc = cli_main(
             ["filecount", "--bench-out", str(tmp_path / "b.json")]
+        )
+        assert rc == 2
+
+    def test_profile_dumps_pstats(self, capsys, tmp_path):
+        import pstats
+
+        out = tmp_path / "fig3.pstats"
+        rc = cli_main(["fig3", "--profile", str(out)])
+        assert rc == 0
+        assert out.exists()
+        # the dump must be loadable and non-trivial
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_profile_conflicts_with_bench(self, capsys, tmp_path):
+        rc = cli_main(
+            [
+                "fig3",
+                "--bench-out", str(tmp_path / "b.json"),
+                "--profile", str(tmp_path / "p.pstats"),
+            ]
         )
         assert rc == 2
 

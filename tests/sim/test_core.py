@@ -326,3 +326,74 @@ class TestEvery:
             env.every(0.0, lambda: None)
         with pytest.raises(ValueError):
             env.every(1.0, lambda: None, double_after=0)
+
+
+class TestSchedulingValidation:
+    """call_in/call_at must reject entries that would land behind
+    ``now`` (they would corrupt the calendar-queue order)."""
+
+    def test_call_in_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError, match="negative delay"):
+            env.call_in(-0.5, lambda: None)
+
+    def test_call_in_nan_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.call_in(float("nan"), lambda: None)
+
+    def test_call_at_past_deadline_rejected(self, env):
+        def proc():
+            yield env.timeout(2.0)
+            env.call_at(1.0, lambda: None)
+
+        with pytest.raises(ValueError, match="in the past"):
+            env.run(env.process(proc()))
+
+    def test_call_at_nan_deadline_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.call_at(float("nan"), lambda: None)
+
+    def test_timeout_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_nan_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(float("nan"))
+
+    def test_schedule_at_past_rejected(self, env):
+        def proc():
+            yield env.timeout(2.0)
+            env.schedule_at(1.0, lambda: None)
+
+        with pytest.raises(ValueError, match="in the past"):
+            env.run(env.process(proc()))
+
+    def test_call_in_zero_fires_this_instant(self, env):
+        fired = []
+        env.call_in(0.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [0.0]
+
+    def test_call_at_now_fires_this_instant(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(1.0)
+            env.call_at(env.now, lambda: fired.append(env.now))
+            yield env.timeout(1.0)
+
+        env.run(env.process(proc()))
+        assert fired == [1.0]
+
+    def test_call_in_subresolution_delay_fires_this_instant(self, env):
+        # a delay too small for the float clock to resolve must fire at
+        # the current instant (ring), never land in the heap at `now`
+        fired = []
+
+        def proc():
+            yield env.timeout(1e9)
+            env.call_in(1e-12, lambda: fired.append(env.now))
+            yield env.timeout(1.0)
+
+        env.run(env.process(proc()))
+        assert fired == [1e9]
