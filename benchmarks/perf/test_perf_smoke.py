@@ -8,7 +8,9 @@ scale sweep) and fails if simulated events/sec regresses more than 30%
 against the committed floor, or if the incremental allocator stops
 beating the reference one outright. The kernel microbench scenarios
 (:mod:`repro.experiments.kernelbench` — raw dispatch throughput with no
-workload) are gated the same way.
+workload) and the metadata microbench scenarios
+(:mod:`repro.experiments.mdbench` — in-process segment-tree algebra
+throughput) are gated the same way.
 
 Not part of the tier-1 suite (pyproject collects ``tests/`` only); CI
 runs it as a separate perf-smoke job::
@@ -71,6 +73,22 @@ def test_kernel_microbench_vs_baseline(baseline, scenario):
         f"{kb.events_per_s:,.0f} events/s < {floor:,.0f} "
         f"(= {REGRESSION_FLOOR:.0%} of baseline "
         f"{baseline['kernel'][scenario]['events_per_s']:,.0f}); if the "
+        f"hardware class changed, re-baseline benchmarks/perf/baseline.json"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(_BASELINE.get("metadata", {})))
+def test_metadata_microbench_vs_baseline(baseline, scenario):
+    from repro.experiments.mdbench import bench_metadata
+
+    mb = bench_metadata(scenario, repeats=2)
+    assert mb.ops > 0 and mb.node_ops > 0, "metadata bench did no work"
+    floor = REGRESSION_FLOOR * baseline["metadata"][scenario]["ops_per_s"]
+    assert mb.ops_per_s >= floor, (
+        f"metadata scenario {scenario!r} regressed: "
+        f"{mb.ops_per_s:,.0f} ops/s < {floor:,.0f} "
+        f"(= {REGRESSION_FLOOR:.0%} of baseline "
+        f"{baseline['metadata'][scenario]['ops_per_s']:,.0f}); if the "
         f"hardware class changed, re-baseline benchmarks/perf/baseline.json"
     )
 

@@ -140,6 +140,15 @@ class BlobClient:
             self.service.protocol.append(self.name, blob_id, Payload(data))
         )
 
+    def append_ex(self, blob_id: int, data: bytes) -> Tuple[int, int, Optional[int]]:
+        """Append *data*; returns ``(version, offset, group_end)`` where
+        *group_end* is the blob size this client's publish round landed
+        (``None`` when a group-commit leader published on its behalf —
+        see :meth:`BlobSeerProtocol.append_ex`)."""
+        return self.service.engine.run(
+            self.service.protocol.append_ex(self.name, blob_id, Payload(data))
+        )
+
     def write(self, blob_id: int, offset: int, data: bytes) -> int:
         """Overwrite ``[offset, offset+len(data))``; returns the new
         version. The offset must be page-aligned and must not create a

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -122,3 +123,70 @@ class RecordingStore:
         """Return and clear the access log."""
         log, self.log = self.log, []
         return log
+
+
+class NodeCache:
+    """Bounded LRU over tree nodes, shared across a client's operations.
+
+    Tree nodes are immutable, so a cached node can never go stale — the
+    only pressure is capacity. Hot root-reachable prefixes (the top of
+    every version's path, revisited by each ``query_pages`` walk) stay
+    resident, so repeated reads over stable prefixes stop re-charging
+    the DHT.
+    """
+
+    def __init__(self, capacity: int, hit_counter=None, miss_counter=None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._nodes: "OrderedDict[NodeKey, TreeNode]" = OrderedDict()
+        #: obs counters (``.inc()``), or None when metrics are off
+        self._hits = hit_counter
+        self._misses = miss_counter
+
+    def get(self, key: NodeKey) -> Optional[TreeNode]:
+        node = self._nodes.get(key)
+        if node is None:
+            if self._misses is not None:
+                self._misses.inc()
+            return None
+        self._nodes.move_to_end(key)
+        if self._hits is not None:
+            self._hits.inc()
+        return node
+
+    def put(self, node: TreeNode) -> None:
+        nodes = self._nodes
+        nodes[node.key] = node
+        nodes.move_to_end(node.key)
+        while len(nodes) > self.capacity:
+            nodes.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class CachingStore:
+    """Node-store view that serves gets from a :class:`NodeCache`.
+
+    Wraps a (typically recording) store: cache hits never reach the
+    inner store — no access is logged, so no RPC is charged — while
+    misses fall through and populate the cache. Writes pass through
+    *and* warm the cache (a just-built path is the hottest prefix of
+    all).
+    """
+
+    def __init__(self, inner, cache: NodeCache) -> None:
+        self.inner = inner
+        self.cache = cache
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        node = self.cache.get(key)
+        if node is None:
+            node = self.inner.get_node(key)
+            self.cache.put(node)
+        return node
+
+    def put_node(self, node: TreeNode) -> None:
+        self.inner.put_node(node)
+        self.cache.put(node)

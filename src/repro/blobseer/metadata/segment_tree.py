@@ -19,11 +19,12 @@ simulated runtime (cost-charging DHT) drive them unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from ...common.errors import VersionNotFoundError
-from ..pages import PageFragments
+from ..pages import PageFragments, overlay
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,9 +37,19 @@ class NodeKey:
     lo: int
     hi: int
 
+    #: memoized :meth:`key_bytes` — every key is hashed for placement and
+    #: possibly re-derived by caches; excluded from equality/hash/repr
+    _kb: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def key_bytes(self) -> bytes:
         """Stable byte form, used for DHT placement."""
-        return f"tree/{self.blob_id}/{self.version}/{self.lo}/{self.hi}".encode()
+        kb = self._kb
+        if kb is None:
+            kb = f"tree/{self.blob_id}/{self.version}/{self.lo}/{self.hi}".encode()
+            object.__setattr__(self, "_kb", kb)
+        return kb
 
     @property
     def span(self) -> int:
@@ -85,10 +96,9 @@ class NodeStore(Protocol):
 
 def capacity_for(n_pages: int) -> int:
     """Smallest power of two >= max(n_pages, 1) — the root's span."""
-    cap = 1
-    while cap < n_pages:
-        cap *= 2
-    return cap
+    if n_pages <= 1:
+        return 1
+    return 1 << (n_pages - 1).bit_length()
 
 
 def build_version(
@@ -116,9 +126,18 @@ def build_version(
         raise ValueError("capacity cannot shrink")
     if any(i < 0 or i >= new_capacity for i in changes):
         raise ValueError("change index out of capacity")
+    # the changed indices, sorted once up front: each node's "does any
+    # change fall in my range" test is then a single bisect instead of a
+    # scan over the whole change map — O(log|changes|) per node, so a
+    # build writes its O(|changes| + log cap) nodes in near-linear time
+    sorted_changes = sorted(changes)
+
+    def touched_in(lo: int, hi: int) -> bool:
+        i = bisect_left(sorted_changes, lo)
+        return i < len(sorted_changes) and sorted_changes[i] < hi
 
     def build(lo: int, hi: int, prev: Optional[NodeKey]) -> Optional[NodeKey]:
-        touched = _range_touched(changes, lo, hi)
+        touched = touched_in(lo, hi)
         if not touched:
             if prev is _UNRESOLVED:
                 # untouched but structurally misaligned with the old tree:
@@ -177,11 +196,15 @@ def query_pages(
     """Resolve fragment lists for every page index in ``[lo, hi)``.
 
     Missing leaves (pages never written) are simply absent from the
-    result; callers decide whether a hole is an error.
+    result; callers decide whether a hole is an error. The empty range
+    ``lo == hi`` (a zero-length read) is legitimate and resolves to
+    ``{}`` without touching the store.
     """
-    if lo < 0 or hi <= lo:
+    if lo < 0 or hi < lo:
         raise ValueError(f"bad page range [{lo}, {hi})")
     out: Dict[int, PageFragments] = {}
+    if lo == hi:
+        return out
 
     def walk(key: Optional[NodeKey]) -> None:
         if key is None:
@@ -198,6 +221,77 @@ def query_pages(
 
     walk(root)
     return out
+
+
+def merge_change_maps(
+    maps: Sequence[Mapping[int, PageFragments]],
+) -> Dict[int, PageFragments]:
+    """Fold per-version change maps (in commit order) into one.
+
+    Where two versions touch the same page, the later version's
+    fragments are overlaid on the earlier one's — exactly what a reader
+    of the later version would observe after sequential publication.
+    Each map must be *self-consistent relative to its predecessors in
+    the sequence*: a fragment whose page also carries older bytes (a
+    boundary page) must either follow the fragments providing those
+    bytes in an earlier map, or arrive pre-overlaid onto them (the map's
+    tuple already containing the inherited fragments). Append batches
+    satisfy this by construction — each append only writes bytes at and
+    beyond its predecessor's size.
+    """
+    merged: Dict[int, PageFragments] = {}
+    for changes in maps:
+        for page, frags in changes.items():
+            base = merged.get(page)
+            if base is None:
+                merged[page] = tuple(frags)
+            else:
+                for frag in frags:
+                    base = overlay(base, frag)
+                merged[page] = base
+    return merged
+
+
+def build_versions_batch(
+    store: NodeStore,
+    blob_id: int,
+    batch: Sequence[Tuple[int, Mapping[int, PageFragments]]],
+    prev_root: Optional[NodeKey],
+    prev_capacity: int,
+    new_capacity: int,
+) -> NodeKey:
+    """Publish a run of K queued versions as ONE tree build.
+
+    *batch* is ``[(version, changes), ...]`` in commit order. The change
+    maps are folded with :func:`merge_change_maps` and a single tree —
+    keyed by the *last* version — is built over the union, so every
+    shared inner-path node is written once per batch instead of once per
+    version: ``O(Σ|changes| + log cap)`` node writes total.
+
+    All K versions share the returned root. That is sound for *append*
+    runs because each member only adds bytes at offsets ≥ its
+    predecessor's size: a reader of an intermediate version clips at
+    that version's recorded ``size``, and below that offset the merged
+    fragment lists are byte-identical to the trees sequential
+    publication would have produced (later overlays only replace ranges
+    past the clip point). Overwrites do not have that property and must
+    publish alone through :func:`build_version`.
+    """
+    if not batch:
+        raise ValueError("empty publish batch")
+    versions = [v for v, _ in batch]
+    if versions != sorted(versions) or len(set(versions)) != len(versions):
+        raise ValueError("batch versions must be distinct and ascending")
+    merged = merge_change_maps([changes for _, changes in batch])
+    return build_version(
+        store,
+        blob_id,
+        versions[-1],
+        prev_root,
+        prev_capacity,
+        merged,
+        new_capacity,
+    )
 
 
 def iter_all_pages(
@@ -217,13 +311,6 @@ def iter_all_pages(
         yield from walk(node.right)
 
     yield from walk(root)
-
-
-def _range_touched(changes: Mapping[int, PageFragments], lo: int, hi: int) -> bool:
-    """True when any changed page index falls in [lo, hi)."""
-    if len(changes) < (hi - lo):
-        return any(lo <= i < hi for i in changes)
-    return any(i in changes for i in range(lo, hi))
 
 
 class _Unresolved:

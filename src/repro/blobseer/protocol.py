@@ -39,9 +39,10 @@ from ..common.errors import (
 from ..engine.base import Engine, Payload
 from ..engine.replica import ReplicaSelector, sweep_fetch
 from ..obs import NULL_OBS, Observability
-from .metadata.dht import MetadataDHT, RecordingStore
+from .metadata.dht import CachingStore, MetadataDHT, NodeCache, RecordingStore
 from .metadata.segment_tree import (
     build_version,
+    build_versions_batch,
     capacity_for,
     iter_all_pages,
     query_pages,
@@ -111,6 +112,30 @@ class BlobSeerProtocol:
             "vm.metadata_turn_wait_s"
         )
         self._c_md_rpcs = self.obs.registry.counter("md.rpcs")
+        #: bounded LRU of hot (root-reachable) tree nodes; None when the
+        #: ``md_cache_nodes`` knob is 0 — every get then reaches the DHT
+        if getattr(config, "md_cache_nodes", 0):
+            self._node_cache: Optional[NodeCache] = NodeCache(
+                config.md_cache_nodes,
+                hit_counter=self.obs.registry.counter("md.cache.hits"),
+                miss_counter=self.obs.registry.counter("md.cache.misses"),
+            )
+        else:
+            self._node_cache = None
+        #: group commit: batch ready consecutive appenders into one
+        #: publish round (see :meth:`_publish_batch`)
+        self._group_commit = bool(getattr(config, "group_commit", False))
+
+    def _node_store(self):
+        """``(algorithm store, recording store)`` for one metadata op.
+
+        The algorithm store serves gets from the node cache when one is
+        configured — cache hits never reach the recording store, so they
+        are never charged as DHT RPCs."""
+        rec = RecordingStore(self.dht)
+        if self._node_cache is not None:
+            return CachingStore(rec, self._node_cache), rec
+        return rec, rec
 
     def selector(self, client: str) -> ReplicaSelector:
         """The client's replica selector (rotation phase + dead memory)."""
@@ -136,6 +161,28 @@ class BlobSeerProtocol:
 
         Returns ``(version, offset)`` of the published append.
         """
+        version, offset, _group_end = yield from self.append_ex(
+            client, blob_id, payload, record=record, parent=parent
+        )
+        return version, offset
+
+    def append_ex(
+        self,
+        client: str,
+        blob_id: int,
+        payload: Payload,
+        record: bool = True,
+        parent=None,
+    ):
+        """Generator: one append, exposing the publish outcome.
+
+        Returns ``(version, offset, group_end)``. *group_end* is the
+        byte size this client's *publish round* advanced the blob to —
+        ``offset + nbytes`` on the classic one-at-a-time path, the
+        batch's final size when this client led a group commit, and
+        ``None`` when another leader published this version (a size
+        report is then the leader's job; see the BSFS namespace update).
+        """
         if len(payload) <= 0:
             raise ValueError("cannot append zero bytes")
         engine = self.engine
@@ -156,13 +203,15 @@ class BlobSeerProtocol:
         ticket = yield engine.call("vm", "assign_append", blob_id, len(payload))
         sp_vm.finish()
         self._h_ticket_wait.observe(engine.now() - t0)
-        version = yield from self._update(client, ticket, payload, parent=sp)
+        version, group_end = yield from self._update(
+            client, ticket, payload, parent=sp, group=self._group_commit
+        )
         sp.finish(version=version, offset=ticket.offset)
         if record and self.metrics is not None:
             self.metrics.record(
                 client, "append", start, engine.now(), len(payload)
             )
-        return version, ticket.offset
+        return version, ticket.offset, group_end
 
     def write(
         self,
@@ -194,7 +243,9 @@ class BlobSeerProtocol:
             "vm", "assign_write", blob_id, offset, len(payload)
         )
         sp_vm.finish()
-        version = yield from self._update(client, ticket, payload, parent=sp)
+        version, _ = yield from self._update(
+            client, ticket, payload, parent=sp
+        )
         sp.finish(version=version)
         if record and self.metrics is not None:
             self.metrics.record(
@@ -202,8 +253,22 @@ class BlobSeerProtocol:
             )
         return version
 
-    def _update(self, client: str, ticket: Ticket, payload: Payload, parent):
-        """The shared body of append/write, from a granted ticket on."""
+    def _update(
+        self,
+        client: str,
+        ticket: Ticket,
+        payload: Payload,
+        parent,
+        group: bool = False,
+    ):
+        """The shared body of append/write, from a granted ticket on.
+
+        Returns ``(version, group_end)`` — see :meth:`append_ex`. With
+        *group* set (appends under group commit) the serialized metadata
+        turn is replaced by the ready hand-off: the client pushes its
+        change map to the version manager and either leads a batched
+        publish round or returns as soon as some leader publishes it.
+        """
         engine = self.engine
         tracer = self.obs.tracer
         ps = ticket.page_size
@@ -264,6 +329,12 @@ class BlobSeerProtocol:
                 yield engine.gather(shippers)
         sp_ship.finish()
 
+        if group:
+            group_end = yield from self._group_publish(
+                client, ticket, new_frags, parent
+            )
+            return ticket.version, group_end
+
         sp_turn = tracer.start(
             "vm.metadata_turn_wait",
             cat="blobseer.vm",
@@ -290,8 +361,8 @@ class BlobSeerProtocol:
             if (frag.start == 0 and frag.end >= defined) or prev_root is None:
                 changes[p] = (frag,)
                 continue
-            rec_store = RecordingStore(self.dht)
-            prev_frags = query_pages(rec_store, prev_root, p, p + 1).get(p, ())
+            store, rec_store = self._node_store()
+            prev_frags = query_pages(store, prev_root, p, p + 1).get(p, ())
             boundary_log.extend(rec_store.take_log())
             changes[p] = overlay(prev_frags, frag)
         if boundary_log:
@@ -305,9 +376,9 @@ class BlobSeerProtocol:
             yield from self._charge(boundary_log, parent=sp_b)
             sp_b.finish()
 
-        rec_store = RecordingStore(self.dht)
+        store, rec_store = self._node_store()
         root = build_version(
-            rec_store,
+            store,
             ticket.blob_id,
             ticket.version,
             prev_root,
@@ -332,7 +403,143 @@ class BlobSeerProtocol:
         engine.trace_parent(sp_c)
         yield engine.call("vm", "commit", ticket.blob_id, ticket.version, root)
         sp_c.finish()
-        return ticket.version
+        return ticket.version, ticket.offset + ticket.nbytes
+
+    def _group_publish(
+        self, client: str, ticket: Ticket, new_frags: Dict[int, Fragment], parent
+    ):
+        """Generator: the group-commit metadata turn for one append.
+
+        Pushes the ready change map to the version manager (one charged
+        RPC at the cheap commit-push cost). The reply either promotes
+        this client to leader of a batch of consecutive ready appends —
+        it then publishes all of them in one metadata round — or queues
+        it behind the current leader, in which case it waits (uncharged)
+        until a leader publishes its version, possibly inheriting the
+        lead when its predecessor lands first.
+
+        Returns the batch's final blob size when this client led, or
+        ``None`` when another leader published its version.
+        """
+        engine = self.engine
+        tracer = self.obs.tracer
+        turn_t0 = engine.now()
+        sp_r = tracer.start(
+            "vm.commit_ready",
+            cat="blobseer.vm",
+            parent=parent,
+            track=client,
+            version=ticket.version,
+        )
+        engine.trace_parent(sp_r)
+        reply = yield engine.call(
+            "vm", "commit_ready", ticket.blob_id, ticket.version, new_frags
+        )
+        sp_r.finish(role=reply[0])
+        if reply[0] == "queued":
+            sp_w = tracer.start(
+                "vm.publish_wait",
+                cat="blobseer.vm",
+                parent=parent,
+                track=client,
+                version=ticket.version,
+            )
+            engine.trace_parent(sp_w)
+            reply = yield engine.wait(
+                "vm", "publish_wait", ticket.blob_id, ticket.version
+            )
+            sp_w.finish(role=reply[0])
+        self._h_turn_wait.observe(engine.now() - turn_t0)
+        if reply[0] == "published":
+            return None
+        assert reply[0] == "lead", f"unexpected publish reply {reply!r}"
+        _, prev_root, prev_capacity, batch = reply
+        group_end = yield from self._publish_batch(
+            client,
+            ticket.blob_id,
+            prev_root,
+            prev_capacity,
+            batch,
+            ticket.page_size,
+            parent,
+        )
+        return group_end
+
+    def _publish_batch(
+        self,
+        client: str,
+        blob_id: int,
+        prev_root,
+        prev_capacity: int,
+        batch,
+        page_size: int,
+        parent,
+    ):
+        """Generator: publish a batch of ready appends as the leader.
+
+        *batch* is ``[(version, raw_change_map, new_size), ...]`` in
+        version order. The members' maps are raw single-fragment pages
+        on purpose: a member's partially-covered boundary page may owe
+        its missing bytes to the *previous batch member*, so the merge
+        (:func:`build_versions_batch`) folds them in commit order. Only
+        the very first page of the very first member can inherit bytes
+        from the previously *published* tree, so a group publish does at
+        most one boundary read regardless of batch size.
+
+        Returns the batch's final blob size.
+        """
+        tracer = self.obs.tracer
+        engine = self.engine
+        versions = [v for v, _, _ in batch]
+        member_maps: List[Dict[int, tuple]] = [
+            {p: (frag,) for p, frag in frags.items()} for _, frags, _ in batch
+        ]
+        logs: List[list] = []
+        first_map = member_maps[0]
+        p0 = min(first_map)
+        frag0 = first_map[p0][0]
+        if frag0.start > 0 and prev_root is not None:
+            store, rec_store = self._node_store()
+            prev_frags = query_pages(store, prev_root, p0, p0 + 1).get(p0, ())
+            blog = rec_store.take_log()
+            if blog:
+                logs.append(blog)
+            first_map[p0] = overlay(prev_frags, frag0)
+        last_size = batch[-1][2]
+        store, rec_store = self._node_store()
+        root = build_versions_batch(
+            store,
+            blob_id,
+            list(zip(versions, member_maps)),
+            prev_root,
+            prev_capacity,
+            capacity_pages(last_size, page_size),
+        )
+        logs.append(rec_store.take_log())
+        sp_md = tracer.start(
+            "md.publish_batch",
+            cat="blobseer.md",
+            parent=parent,
+            track=client,
+            rpcs=sum(len(log) for log in logs),
+            members=len(batch),
+        )
+        yield from self._charge_many(logs, parent=sp_md)
+        sp_md.finish()
+
+        sp_c = tracer.start(
+            "vm.publish_batch",
+            cat="blobseer.vm",
+            parent=parent,
+            track=client,
+            members=len(batch),
+        )
+        engine.trace_parent(sp_c)
+        yield engine.call(
+            "vm", "publish_batch", blob_id, versions, root, last_size
+        )
+        sp_c.finish()
+        return last_size
 
     def _store_page(
         self, client: str, page_id, payload: Payload, providers, parent=None
@@ -381,6 +588,17 @@ class BlobSeerProtocol:
         self._c_md_rpcs.inc(len(log))
         self.engine.trace_parent(parent)
         yield self.engine.charge_md([rec.owner for rec in log])
+
+    def _charge_many(self, logs, parent=None):
+        """Generator: bill several access logs as one publish round."""
+        logs = [log for log in logs if log]
+        if not logs:
+            return
+        self._c_md_rpcs.inc(sum(len(log) for log in logs))
+        self.engine.trace_parent(parent)
+        yield self.engine.charge_md_many(
+            [[rec.owner for rec in log] for log in logs]
+        )
 
     # -- read path -----------------------------------------------------------
 
@@ -437,8 +655,8 @@ class BlobSeerProtocol:
             )
 
         first, last = offset // ps, (offset + nbytes - 1) // ps
-        rec_store = RecordingStore(self.dht)
-        leaves = query_pages(rec_store, rec.root, first, last + 1)
+        store, rec_store = self._node_store()
+        leaves = query_pages(store, rec.root, first, last + 1)
         query_log = rec_store.take_log()
         sp_md = self.obs.tracer.start(
             "md.query_pages",

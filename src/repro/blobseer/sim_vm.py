@@ -45,6 +45,27 @@ class SimVMService:
     def commit(self, blob_id: int, version: int, root) -> None:
         self.core.commit(blob_id, version, root)
 
+    def commit_ready(self, blob_id: int, version: int, changes):
+        """Group commit step 1 (charged at the cheap enqueue rate): hand
+        the appender's change map to the VM. Replies ``("lead", ...)``
+        with a drained batch when this version heads the commit queue,
+        else ``("queued",)``."""
+        grant = self.core.submit_ready(blob_id, version, changes)
+        if grant is None:
+            return ("queued",)
+        return ("lead", *grant)
+
+    def publish_wait(self, blob_id: int, version: int) -> Event:
+        """Uncharged wait: resolves with ``("published",)`` once a leader
+        publishes this version, or with a ``("lead", ...)`` promotion."""
+        ev = Event(self.env)
+        self.core.when_published(blob_id, version, ev.succeed)
+        return ev
+
+    def publish_batch(self, blob_id: int, versions, root, tree_size: int) -> None:
+        """Group commit step 2 (charged): land the whole batch."""
+        self.core.publish_batch(blob_id, list(versions), root, tree_size)
+
     def resolve(self, blob_id: int, version: Optional[int] = None):
         core = self.core
         rec = (
@@ -85,6 +106,11 @@ class SimVMService:
         record = self.core.blob(blob_id).versions.get(version)
         if record is None or record.committed:
             return
+        if self.core.is_ready(blob_id, version):
+            # the appender already delivered its change map; publication
+            # is the leader's job now, so the dead-client lease no
+            # longer applies
+            return
         self.env.call_at(
             self.env.now + self.config.append_lease_s,
             lambda: self._lease_expired(blob_id, version),
@@ -93,6 +119,8 @@ class SimVMService:
     def _lease_expired(self, blob_id: int, version: int) -> None:
         record = self.core.blob(blob_id).versions.get(version)
         if record is None or record.committed:
+            return
+        if self.core.is_ready(blob_id, version):
             return
         self._c_lease_expiries.inc()
         lease_expired(self.obs.tracer, blob_id, version)

@@ -71,7 +71,14 @@ class SimBlobSeer:
 
         self.engine = DesEngine(cluster, obs=self.obs)
         self._vm = SimVMService(self.core, self.engine, self.config, self.obs)
-        self.engine.bind("vm", self._vm, cluster.config.version_assign_time)
+        self.engine.bind(
+            "vm",
+            self._vm,
+            cluster.config.version_assign_time,
+            # a ready push only files the change map and answers
+            # lead/queued — cheaper than the assignment critical section
+            method_services={"commit_ready": cluster.config.commit_push_time},
+        )
         self.engine.bind_md(len(roles.metadata_providers))
         self.retry = self.engine.retry
         #: legacy raw-VM-RPC helper for drivers shaping VM traffic directly

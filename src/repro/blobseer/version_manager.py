@@ -110,6 +110,17 @@ class VersionManagerCore:
         self._ids = itertools.count(1)
         #: callbacks waiting for a version's metadata turn / publication
         self._turn_waiters: Dict[tuple[int, int], List[Callable[[], None]]] = {}
+        #: group commit: change maps handed in by ready appenders, keyed
+        #: by (blob_id, version), awaiting a publish leader to drain them
+        self._pending: Dict[tuple[int, int], object] = {}
+        #: versions drained into an in-flight publish batch — protected
+        #: from lease expiry until the leader's publish_batch lands
+        self._in_flight: set[tuple[int, int]] = set()
+        #: one callback per queued appender waiting for publication (or
+        #: a leader promotion), keyed by (blob_id, version)
+        self._publish_waiters: Dict[
+            tuple[int, int], List[Callable[[tuple], None]]
+        ] = {}
         obs = obs or NULL_OBS
         self._c_tickets = obs.registry.counter("vm.tickets_assigned")
         self._c_append_tickets = obs.registry.counter("vm.append_tickets")
@@ -118,6 +129,8 @@ class VersionManagerCore:
         self._c_turn_waits = obs.registry.counter("vm.turn_waits")
         self._g_turn_queue = obs.registry.gauge("vm.turn_queue_depth")
         self._h_ticket_bytes = obs.registry.histogram("vm.append_ticket_bytes")
+        self._c_group_commits = obs.registry.counter("vm.group_commits")
+        self._h_group_size = obs.registry.histogram("vm.group_commit_size")
 
     # -- blob lifecycle ------------------------------------------------------
 
@@ -294,6 +307,142 @@ class VersionManagerCore:
         self._finish_version(state, blob_id, version)
         return True
 
+    # -- group commit (batched metadata publication) ---------------------------
+
+    def is_ready(self, blob_id: int, version: int) -> bool:
+        """Whether the appender already handed its change map to the VM
+        (queued for a batched publish or drained into one in flight).
+        A ready version's fate is the publish leader's responsibility —
+        the append-ticket lease no longer applies to it."""
+        key = (blob_id, version)
+        return key in self._pending or key in self._in_flight
+
+    def submit_ready(
+        self, blob_id: int, version: int, changes
+    ) -> Optional[tuple]:
+        """Group commit step 1: the appender's pages are shipped and its
+        per-page fragments (*changes*) are ready for publication.
+
+        Returns a *lead grant* ``(prev_root, prev_capacity, batch)``
+        when this version heads the commit queue — the caller must build
+        and publish the drained *batch* — or ``None`` when it is queued
+        behind unresolved versions (wait via :meth:`when_published`).
+        """
+        state = self.blob(blob_id)
+        record = state.versions.get(version)
+        if record is None:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if record.aborted:
+            raise AppendAbortedError(
+                f"blob {blob_id} version {version} was aborted "
+                f"(append-ticket lease expired before commit)"
+            )
+        if record.committed or self.is_ready(blob_id, version):
+            raise ValueError(f"version {version} submitted twice")
+        self._pending[(blob_id, version)] = changes
+        if self.metadata_prereq(blob_id, version) is None:
+            return None
+        return self._lead_grant(state, blob_id, version)
+
+    def try_lead(self, blob_id: int, version: int) -> Optional[tuple]:
+        """A lead grant for a still-pending ready version whose
+        predecessor has resolved; ``None`` otherwise. Polling
+        counterpart of the :meth:`when_published` promotion (used by the
+        threaded runtime's condition-variable loop)."""
+        if (blob_id, version) not in self._pending:
+            return None
+        if self.metadata_prereq(blob_id, version) is None:
+            return None
+        return self._lead_grant(self.blob(blob_id), blob_id, version)
+
+    def when_published(
+        self, blob_id: int, version: int, callback: Callable[[tuple], None]
+    ) -> None:
+        """Invoke *callback* with the queued appender's outcome:
+        ``("published",)`` once a leader publishes the version, or
+        ``("lead", prev_root, prev_capacity, batch)`` when the version
+        is promoted to publish leader instead. Fires synchronously when
+        the outcome is already decided."""
+        state = self.blob(blob_id)
+        record = state.versions.get(version)
+        if record is None:
+            raise VersionNotFoundError(f"blob {blob_id} has no version {version}")
+        if record.committed:
+            callback(("published",))
+            return
+        grant = self.try_lead(blob_id, version)
+        if grant is not None:
+            callback(("lead", *grant))
+            return
+        self._publish_waiters.setdefault((blob_id, version), []).append(callback)
+
+    def _lead_grant(
+        self, state: BlobState, blob_id: int, version: int
+    ) -> tuple:
+        """Drain the maximal run of consecutive ready versions starting
+        at *version* into an in-flight publish batch."""
+        prereq = self.metadata_prereq(blob_id, version)
+        assert prereq is not None, "lead granted before predecessor resolved"
+        prev_root, prev_capacity = prereq
+        batch: List[tuple] = []
+        v = version
+        while True:
+            changes = self._pending.pop((blob_id, v), None)
+            if changes is None:
+                break
+            self._in_flight.add((blob_id, v))
+            batch.append((v, changes, state.versions[v].size))
+            v += 1
+        return prev_root, prev_capacity, batch
+
+    def publish_batch(
+        self,
+        blob_id: int,
+        versions: List[int],
+        root: Optional[NodeKey],
+        tree_size: int,
+    ) -> None:
+        """Group commit step 2: the leader built ONE tree for the whole
+        batch; every member version now shares *root* (readers clip at
+        each member's own ``size``, see
+        :func:`~repro.blobseer.metadata.segment_tree.build_versions_batch`).
+        """
+        if not versions:
+            raise ValueError("empty publish batch")
+        state = self.blob(blob_id)
+        for v in versions:
+            key = (blob_id, v)
+            if key not in self._in_flight:
+                raise ValueError(
+                    f"blob {blob_id} v{v} was not drained into a publish batch"
+                )
+            record = state.versions[v]
+            record.root = root
+            record.tree_size = tree_size
+            record.committed = True
+            self._in_flight.discard(key)
+            self._c_commits.inc()
+        self._c_group_commits.inc()
+        self._h_group_size.observe(float(len(versions)))
+        self._finish_version(state, blob_id, versions[-1])
+        for v in versions:
+            for cb in self._publish_waiters.pop((blob_id, v), []):
+                cb(("published",))
+
+    def _promote_leader(self, state: BlobState, blob_id: int) -> None:
+        """Hand the publish lead to the next ready run's first waiter
+        (if it is both ready and already waiting — the threaded runtime
+        polls :meth:`try_lead` instead of registering callbacks)."""
+        candidate = state.published + 1
+        key = (blob_id, candidate)
+        if key not in self._pending or key not in self._publish_waiters:
+            return
+        waiters = self._publish_waiters.pop(key)
+        grant = self._lead_grant(state, blob_id, candidate)
+        waiters[0](("lead", *grant))
+        # one client owns each version; extra waiters would be a bug
+        assert len(waiters) == 1, f"multiple publish waiters for v{candidate}"
+
     def _finish_version(self, state: BlobState, blob_id: int, version: int) -> None:
         """Advance the publish frontier and wake the next metadata turn."""
         # advance the published frontier over consecutive committed versions
@@ -304,6 +453,8 @@ class VersionManagerCore:
         self._g_turn_queue.set(float(len(self._turn_waiters)))
         for cb in waiters:
             cb()
+        # and promote the next publish leader, if one is ready and waiting
+        self._promote_leader(state, blob_id)
 
     # -- read side ---------------------------------------------------------------
 
@@ -398,6 +549,10 @@ class ThreadedVersionManager:
         record = self.core.blob(blob_id).versions.get(version)
         if record is None or record.committed:
             return
+        if self.core.is_ready(blob_id, version):
+            # change map already delivered; publication is the group
+            # leader's job, not the (possibly dead) client's
+            return
         key = (blob_id, version)
         timer = threading.Timer(self._lease_s, self._lease_expired, args=key)
         timer.daemon = True
@@ -432,6 +587,8 @@ class ThreadedVersionManager:
     def _abort_in_lock(self, blob_id: int, version: int) -> None:
         record = self.core.blob(blob_id).versions.get(version)
         if record is None or record.committed:
+            return
+        if self.core.is_ready(blob_id, version):
             return
         self.core.abort(blob_id, version)
 
@@ -470,6 +627,48 @@ class ThreadedVersionManager:
         finally:
             if timer is not None:
                 timer.cancel()
+
+    # -- group commit (batched metadata publication) --------------------------
+
+    def commit_ready(self, blob_id: int, version: int, changes):
+        """Group commit step 1: deliver the appender's change map; the
+        lease is released (publication is now the leader's job). Returns
+        ``("lead", prev_root, prev_capacity, batch)`` or ``("queued",)``."""
+        timer: Optional[threading.Timer] = None
+        try:
+            with self._turn:
+                timer = self._lease_timers.pop((blob_id, version), None)
+                grant = self.core.submit_ready(blob_id, version, changes)
+                if grant is None:
+                    return ("queued",)
+                return ("lead", *grant)
+        finally:
+            if timer is not None:
+                timer.cancel()
+
+    def publish_wait(self, blob_id: int, version: int):
+        """Block until a leader publishes this version — or until this
+        version is itself promoted to leader (predecessor resolved with
+        the batch still unpublished)."""
+        with self._turn:
+            while True:
+                record = self.core.blob(blob_id).versions.get(version)
+                if record is not None and record.committed:
+                    return ("published",)
+                grant = self.core.try_lead(blob_id, version)
+                if grant is not None:
+                    return ("lead", *grant)
+                if not self._turn.wait(timeout=self._turn_timeout_s):
+                    raise VersionNotReadyError(
+                        f"timed out waiting for publication of "
+                        f"blob {blob_id} v{version}"
+                    )
+
+    def publish_batch(self, blob_id: int, versions, root, tree_size: int) -> None:
+        """Group commit step 2: land the leader's batch and wake waiters."""
+        with self._turn:
+            self.core.publish_batch(blob_id, list(versions), root, tree_size)
+            self._turn.notify_all()
 
     # -- control-endpoint surface (bound as "vm" by the threaded runtime) ----
 

@@ -17,7 +17,7 @@ sharing the same engine.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..blobseer.protocol import BlobSeerProtocol
 from ..common.fs import BlockLocation
@@ -43,6 +43,21 @@ class BSFSProtocol:
         #: on runtimes that do not sample op timings
         self.metrics = metrics
         self._c_ns_rpcs = self.obs.registry.counter("ns.rpcs")
+        #: path -> file record, when the ``ns_record_cache`` knob is on.
+        #: A record's blob binding and page size are immutable, and the
+        #: operations resolved through the cache never consult its size
+        #: field (appends learn their offset from the BLOB ticket, reads
+        #: are bounds-checked against the BLOB version), so cached
+        #: entries cannot go stale in a way that matters.
+        cfg = getattr(blobseer, "config", None)
+        if cfg is not None and getattr(cfg, "ns_record_cache", False):
+            self._record_cache: Optional[Dict[str, object]] = {}
+            self._c_ns_cache_hits = self.obs.registry.counter("ns.cache.hits")
+            self._c_ns_cache_misses = self.obs.registry.counter(
+                "ns.cache.misses"
+            )
+        else:
+            self._record_cache = None
 
     # -- namespace RPCs ------------------------------------------------------
 
@@ -56,6 +71,21 @@ class BSFSProtocol:
         result = yield self.engine.call("ns", method, *args)
         sp.finish()
         return result
+
+    def _lookup(self, client, parent, path: str):
+        """Generator: resolve *path* to its file record, through the
+        client record cache when enabled."""
+        cache = self._record_cache
+        if cache is not None:
+            record = cache.get(path)
+            if record is not None:
+                self._c_ns_cache_hits.inc()
+                return record
+            self._c_ns_cache_misses.inc()
+        record = yield from self._ns(client, parent, "lookup", "get", path)
+        if cache is not None:
+            cache[path] = record
+        return record
 
     # -- file operations -----------------------------------------------------
 
@@ -75,6 +105,9 @@ class BSFSProtocol:
         record = yield from self._ns(
             client, sp, "create", "create", path, blob_id, page_size, overwrite
         )
+        if self._record_cache is not None:
+            # an overwrite rebinds the path to a new BLOB
+            self._record_cache.pop(path, None)
         sp.finish(blob=blob_id)
         return record
 
@@ -91,16 +124,18 @@ class BSFSProtocol:
             path=path,
             nbytes=len(payload),
         )
-        record = yield from self._ns(client, sp, "lookup", "get", path)
-        version, offset = yield from self.blobseer.append(
+        record = yield from self._lookup(client, sp, path)
+        version, _offset, group_end = yield from self.blobseer.append_ex(
             client, record.blob_id, payload, record=False, parent=sp
         )
-        # the appender learns its end offset from the ticket it was
-        # assigned; concurrent appenders may report in any order (the
-        # namespace size is a monotonic max)
-        yield from self._ns(
-            client, sp, "update_size", "update_size", path, offset + len(payload)
-        )
+        # the appender learns its publish round's end offset from the
+        # BLOB layer; concurrent appenders may report in any order (the
+        # namespace size is a monotonic max). Under group commit only
+        # the batch leader reports — one size bump lands a whole batch.
+        if group_end is not None:
+            yield from self._ns(
+                client, sp, "update_size", "update_size", path, group_end
+            )
         sp.finish(version=version)
         if self.metrics is not None:
             self.metrics.record(client, "append", start, engine.now(), len(payload))
@@ -117,12 +152,13 @@ class BSFSProtocol:
             path=path,
             nbytes=len(payload),
         )
-        version, offset = yield from self.blobseer.append(
+        version, _offset, group_end = yield from self.blobseer.append_ex(
             client, blob_id, payload, record=False, parent=sp
         )
-        yield from self._ns(
-            client, sp, "update_size", "update_size", path, offset + len(payload)
-        )
+        if group_end is not None:
+            yield from self._ns(
+                client, sp, "update_size", "update_size", path, group_end
+            )
         sp.finish(version=version)
         return version
 
@@ -140,7 +176,7 @@ class BSFSProtocol:
             offset=offset,
             nbytes=nbytes,
         )
-        record = yield from self._ns(client, sp, "lookup", "get", path)
+        record = yield from self._lookup(client, sp, path)
         version, data = yield from self.blobseer.read(
             client, record.blob_id, offset, nbytes, record=False, parent=sp
         )

@@ -40,6 +40,17 @@ class BlobSeerConfig:
     #: how long a threaded client waits for its metadata turn before
     #: aborting its own version and giving up
     metadata_turn_timeout_s: float = 60.0
+    #: group commit: ready consecutive appenders hand their change maps
+    #: to the version manager and one leader publishes them as a single
+    #: batched metadata round. Off by default — the classic serialized
+    #: publish stays bit-identical.
+    group_commit: bool = False
+    #: client-side LRU over immutable metadata tree nodes (entries);
+    #: 0 disables the cache and every node get reaches the DHT
+    md_cache_nodes: int = 0
+    #: BSFS namespace: cache path->record lookups at the client, saving
+    #: one namespace-manager RPC per append/read on hot files
+    ns_record_cache: bool = False
 
     def validate(self) -> None:
         if self.page_size <= 0:
@@ -56,6 +67,8 @@ class BlobSeerConfig:
             raise ValueError("append_lease_s must be non-negative")
         if self.metadata_turn_timeout_s <= 0:
             raise ValueError("metadata_turn_timeout_s must be positive")
+        if self.md_cache_nodes < 0:
+            raise ValueError("md_cache_nodes must be non-negative")
 
 
 @dataclass(slots=True)
@@ -142,6 +155,10 @@ class ClusterConfig:
     metadata_rpc_time: float = 0.0006
     #: service time of the version manager's critical section, seconds
     version_assign_time: float = 0.0004
+    #: service time of a group-commit ready push at the version manager,
+    #: seconds — cheaper than a ticket assignment: the VM only files the
+    #: change map and answers lead/queued
+    commit_push_time: float = 0.0002
     #: service time of one namespace-manager / namenode RPC, seconds
     namespace_rpc_time: float = 0.0008
     #: max-min rate allocator: "incremental" (component-scoped refills,
@@ -181,6 +198,8 @@ class ClusterConfig:
             raise ValueError("racks > 0 needs a positive rack_bandwidth")
         if self.latency < 0:
             raise ValueError("latency must be non-negative")
+        if self.commit_push_time <= 0:
+            raise ValueError("commit_push_time must be positive")
         if self.rpc_timeout <= 0:
             raise ValueError("rpc_timeout must be positive")
         if self.rpc_retry_base <= 0 or self.rpc_retry_cap < self.rpc_retry_base:

@@ -178,6 +178,20 @@ class Engine(abc.ABC):
         threaded engine resolves immediately (its DHT is in-process).
         """
 
+    @abc.abstractmethod
+    def charge_md_many(self, batches: Sequence[Sequence[int]]) -> Any:
+        """Op: charge several metadata access logs as ONE publish round.
+
+        A group-commit leader folds its boundary-read log and its batch
+        build log into a single fan-out wave — one DHT round trip per
+        *node set* rather than one sequential wave per log. Cost-wise the
+        DES engine treats the concatenation as one
+        :func:`~repro.sim.resources.batch_round_trips` wave; the threaded
+        engine resolves immediately. Kept as a distinct op (not sugar
+        over :meth:`charge_md`) so recorded traces preserve the batch
+        structure the parity suite compares.
+        """
+
     # -- fault / liveness view ---------------------------------------------
 
     @abc.abstractmethod

@@ -41,12 +41,21 @@ from .base import Engine, Payload
 class _Control:
     """One bound control endpoint: adapter + serialized service slot."""
 
-    __slots__ = ("adapter", "slot", "service")
+    __slots__ = ("adapter", "slot", "service", "method_services")
 
-    def __init__(self, adapter: Any, slot: Resource, service: float) -> None:
+    def __init__(
+        self,
+        adapter: Any,
+        slot: Resource,
+        service: float,
+        method_services: Optional[dict] = None,
+    ) -> None:
         self.adapter = adapter
         self.slot = slot
         self.service = service
+        #: per-method overrides of the default service time — e.g. the
+        #: VM's cheap group-commit enqueue vs. its full critical section
+        self.method_services = method_services or {}
 
 
 class DesEngine(Engine):
@@ -98,10 +107,23 @@ class DesEngine(Engine):
 
     # -- wiring -------------------------------------------------------------
 
-    def bind(self, name: str, adapter: Any, service_time: float) -> None:
-        """Register a control endpoint served one RPC at a time."""
+    def bind(
+        self,
+        name: str,
+        adapter: Any,
+        service_time: float,
+        method_services: Optional[dict] = None,
+    ) -> None:
+        """Register a control endpoint served one RPC at a time.
+
+        *method_services* optionally overrides the service time for
+        specific methods (they still serialize at the same slot).
+        """
         self._control[name] = _Control(
-            adapter, Resource(self.env, capacity=1), service_time
+            adapter,
+            Resource(self.env, capacity=1),
+            service_time,
+            method_services,
         )
 
     def bind_md(self, n_owners: int) -> None:
@@ -171,8 +193,9 @@ class DesEngine(Engine):
     def call(self, endpoint: str, method: str, *args: Any) -> Event:
         ctl = self._control[endpoint]
         fn = getattr(ctl.adapter, method)
+        service = ctl.method_services.get(method, ctl.service)
         ev = ctl.slot.round_trip(
-            self.cluster.config.latency, ctl.service, lambda: fn(*args)
+            self.cluster.config.latency, service, lambda: fn(*args)
         )
         if self._tracer is not None:
             return self._spanned(
@@ -267,6 +290,22 @@ class DesEngine(Engine):
         if self._tracer is not None:
             return self._spanned(
                 done, "engine.charge_md", "engine.md", rpcs=len(owners)
+            )
+        return done
+
+    def charge_md_many(self, batches: Sequence[Sequence[int]]) -> Event:
+        # one publish round: the concatenated logs cost a single fan-out
+        # wave over the owners' slots (the fault path inside
+        # _charge_md_event still detours crashed owners through retries)
+        owners = [o for batch in batches for o in batch]
+        done = self._charge_md_event(owners)
+        if self._tracer is not None:
+            return self._spanned(
+                done,
+                "engine.charge_md_many",
+                "engine.md",
+                rpcs=len(owners),
+                batches=len(batches),
             )
         return done
 

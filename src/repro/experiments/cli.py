@@ -233,6 +233,7 @@ def _bench_main(args, config) -> int:
     """``--bench-out``: time figures under both allocators, write JSON."""
     from .bench import DEFAULT_FIGURES, run_bench, to_json_dict
     from .kernelbench import run_kernel_bench
+    from .mdbench import run_metadata_bench
 
     if args.figure == "all":
         figures = list(DEFAULT_FIGURES)
@@ -249,8 +250,13 @@ def _bench_main(args, config) -> int:
         config=config,
     )
     kernel = run_kernel_bench(repeats=args.bench_repeats)
+    metadata = run_metadata_bench(repeats=args.bench_repeats)
     doc = to_json_dict(
-        runs, scale=args.scale, repeats=args.bench_repeats, kernel=kernel
+        runs,
+        scale=args.scale,
+        repeats=args.bench_repeats,
+        kernel=kernel,
+        metadata=metadata,
     )
     with open(args.bench_out, "w") as fp:
         json.dump(doc, fp, indent=2)
@@ -260,6 +266,12 @@ def _bench_main(args, config) -> int:
         print(
             f"  {kb.scenario}: {kb.events} events in {kb.wall_s:.3f}s "
             f"({kb.events_per_s:,.0f}/s)"
+        )
+    print("[metadata microbench]")
+    for mb in metadata:
+        print(
+            f"  {mb.scenario}: {mb.ops} ops in {mb.wall_s:.3f}s "
+            f"({mb.ops_per_s:,.0f}/s, {mb.node_ops} node ops)"
         )
     for run in runs:
         print(f"[{run.allocator}]")

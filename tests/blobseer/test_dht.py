@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.blobseer.metadata.dht import MetadataDHT, RecordingStore, placement_hash
+from repro.blobseer.metadata.dht import (
+    CachingStore,
+    MetadataDHT,
+    NodeCache,
+    RecordingStore,
+    placement_hash,
+)
 from repro.blobseer.metadata.segment_tree import NodeKey, TreeNode
 from repro.blobseer.pages import Fragment, fresh_page_id
 from repro.common.errors import VersionNotFoundError
@@ -93,3 +99,60 @@ class TestRecordingStore:
         node = leaf()
         rec.put_node(node)
         assert dht.get_node(node.key) is node
+
+
+class _Tally:
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class TestNodeCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            NodeCache(0)
+
+    def test_evicts_least_recently_used(self):
+        cache = NodeCache(2)
+        a, b, c = leaf(lo=0), leaf(lo=1), leaf(lo=2)
+        cache.put(a)
+        cache.put(b)
+        assert cache.get(a.key) is a  # touch: b is now the LRU entry
+        cache.put(c)
+        assert len(cache) == 2
+        assert cache.get(b.key) is None
+        assert cache.get(a.key) is a and cache.get(c.key) is c
+
+    def test_counts_hits_and_misses(self):
+        hits, misses = _Tally(), _Tally()
+        cache = NodeCache(4, hit_counter=hits, miss_counter=misses)
+        node = leaf()
+        assert cache.get(node.key) is None
+        cache.put(node)
+        assert cache.get(node.key) is node
+        assert (hits.value, misses.value) == (1, 1)
+
+
+class TestCachingStore:
+    def test_hits_never_reach_inner_store(self):
+        dht = MetadataDHT(2)
+        rec = RecordingStore(dht)
+        store = CachingStore(rec, NodeCache(8))
+        node = leaf()
+        store.put_node(node)  # logged, and warms the cache
+        assert [r.op for r in rec.take_log()] == ["put"]
+        assert store.get_node(node.key) is node
+        assert rec.take_log() == []  # served from cache: nothing charged
+
+    def test_miss_falls_through_and_populates(self):
+        dht = MetadataDHT(2)
+        node = leaf()
+        dht.put_node(node)  # present in the DHT, cold in the cache
+        rec = RecordingStore(dht)
+        store = CachingStore(rec, NodeCache(8))
+        assert store.get_node(node.key) is node
+        assert [r.op for r in rec.take_log()] == ["get"]
+        assert store.get_node(node.key) is node
+        assert rec.take_log() == []

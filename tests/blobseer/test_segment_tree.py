@@ -7,18 +7,20 @@ from repro.blobseer.metadata.dht import MetadataDHT
 from repro.blobseer.metadata.segment_tree import (
     NodeKey,
     build_version,
+    build_versions_batch,
     capacity_for,
     iter_all_pages,
+    merge_change_maps,
     query_pages,
 )
 from repro.blobseer.pages import Fragment, fresh_page_id
 
 
-def frag(tag="w"):
+def frag(tag="w", start=0, length=64):
     return (
         Fragment(
-            start=0,
-            length=64,
+            start=start,
+            length=length,
             page_id=fresh_page_id(1, tag),
             data_offset=0,
             providers=("p0",),
@@ -38,6 +40,18 @@ class TestCapacity:
         assert capacity_for(3) == 4
         assert capacity_for(1000) == 1024
         assert capacity_for(0) == 1
+
+    def test_edge_cases(self):
+        # degenerate blobs: zero or one page both need a one-leaf tree
+        assert capacity_for(0) == 1
+        assert capacity_for(1) == 1
+        # exact powers of two must NOT round up to the next power
+        for exp in range(11):
+            n = 1 << exp
+            assert capacity_for(n) == n
+            if n > 2:
+                assert capacity_for(n - 1) == n
+            assert capacity_for(n + 1) == 2 * n
 
 
 class TestBuildAndQuery:
@@ -72,6 +86,25 @@ class TestBuildAndQuery:
         root = build(store, 1, None, 0, range(4), 4)
         with pytest.raises(ValueError):
             build(store, 2, root, 4, [0], 2)
+
+    def test_empty_range_returns_empty_without_rpcs(self):
+        """Regression: a zero-length read (lo == hi) resolves to no
+        pages and never touches the store — not even the root."""
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, range(4), 4)
+        gets_before = sum(store.gets)
+        assert query_pages(store, root, 2, 2) == {}
+        assert query_pages(store, root, 0, 0) == {}
+        assert query_pages(store, root, 4, 4) == {}
+        assert sum(store.gets) == gets_before
+
+    def test_rejects_bad_ranges(self):
+        store = MetadataDHT(2)
+        root = build(store, 1, None, 0, range(4), 4)
+        with pytest.raises(ValueError):
+            query_pages(store, root, -1, 2)
+        with pytest.raises(ValueError):
+            query_pages(store, root, 3, 1)
 
 
 class TestVersionSharing:
@@ -166,3 +199,203 @@ def test_version_history_matches_array_oracle(updates):
             for i, frags in query_pages(store, root, 0, cap).items()
         }
         assert got == expected
+
+
+class TestNodeWriteCounts:
+    """Pin the build's node-write complexity: O(|changes| + log cap)."""
+
+    @pytest.mark.parametrize("cap", [64, 256, 1024])
+    @pytest.mark.parametrize("count", [1, 3, 17])
+    def test_fresh_tree_contiguous_run(self, cap, count):
+        store = MetadataDHT(1)
+        build(store, 1, None, 0, range(count), cap)
+        log2 = cap.bit_length() - 1
+        assert sum(store.puts) <= 2 * count + 2 * log2 + 2
+
+    @pytest.mark.parametrize("cap", [256, 1024])
+    def test_incremental_append_run(self, cap):
+        """Appending a short run to a full tree rewrites only the run's
+        subtree plus one root-to-run path — not O(cap) nodes."""
+        store = MetadataDHT(1)
+        half = cap // 2
+        root = build(store, 1, None, 0, range(half), cap)
+        puts_before = sum(store.puts)
+        count = 5
+        build(store, 2, root, cap, range(half, half + count), cap)
+        created = sum(store.puts) - puts_before
+        log2 = cap.bit_length() - 1
+        assert created <= 2 * count + 2 * log2 + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cap_exp=st.integers(min_value=0, max_value=9),
+    starts=st.lists(
+        st.integers(min_value=0, max_value=511), min_size=1, max_size=8
+    ),
+    counts=st.lists(
+        st.integers(min_value=1, max_value=24), min_size=8, max_size=8
+    ),
+)
+def test_write_count_stays_within_bound(cap_exp, starts, counts):
+    """Every build writes at most 2|changes| + 2 log2(cap) + 2 nodes, for
+    arbitrary (not only contiguous) change sets under random histories."""
+    cap = 1 << cap_exp
+    store = MetadataDHT(1)
+    root = None
+    prev_cap = 0
+    for v, (start, count) in enumerate(zip(starts, counts), start=1):
+        pages = sorted({min(start + k, cap - 1) for k in range(count)})
+        puts_before = sum(store.puts)
+        root = build(store, v, root, prev_cap, pages, cap, tag=f"v{v}")
+        prev_cap = cap
+        created = sum(store.puts) - puts_before
+        assert created <= 2 * len(pages) + 2 * cap_exp + 2
+
+
+class TestBatchBuild:
+    def test_rejects_empty_batch(self):
+        store = MetadataDHT(1)
+        with pytest.raises(ValueError):
+            build_versions_batch(store, 1, [], None, 0, 4)
+
+    def test_rejects_unordered_versions(self):
+        store = MetadataDHT(1)
+        batch = [(2, {0: frag("v2")}), (1, {1: frag("v1")})]
+        with pytest.raises(ValueError):
+            build_versions_batch(store, 1, batch, None, 0, 4)
+        batch = [(1, {0: frag("v1")}), (1, {1: frag("v1b")})]
+        with pytest.raises(ValueError):
+            build_versions_batch(store, 1, batch, None, 0, 4)
+
+    def test_merge_overlays_shared_boundary_page(self):
+        """Two batch members sharing a page: the later one's fragment is
+        overlaid, so a reader sees both byte ranges."""
+        (a,) = frag("m1", start=0, length=32)
+        (b,) = frag("m2", start=32, length=32)
+        merged = merge_change_maps([{0: (a,)}, {0: (b,)}])
+        assert merged == {0: (a, b)}
+        # full replacement: the later fragment covers the earlier one
+        (c,) = frag("m3", start=0, length=64)
+        assert merge_change_maps([{0: (a,)}, {0: (c,)}]) == {0: (c,)}
+
+    def test_batch_equals_sequential_for_append_run(self):
+        """One batched build must read back exactly like K sequential
+        builds, clipped at each member's visible range."""
+        seq_store = MetadataDHT(1)
+        batch_store = MetadataDHT(1)
+        members = [(1, range(0, 2)), (2, range(2, 3)), (3, range(3, 7))]
+        maps = [
+            {p: frag(f"v{v}") for p in pages} for v, pages in members
+        ]
+        # sequential: one tree per version
+        seq_roots = []
+        root, cap = None, 0
+        for (v, pages), changes in zip(members, maps):
+            new_cap = capacity_for(max(pages) + 1)
+            root = build_version(
+                seq_store, 1, v, root, cap, changes, new_cap
+            )
+            cap = new_cap
+            seq_roots.append(root)
+        # batched: one tree for all three, keyed by the last version
+        batch = [(v, m) for (v, _), m in zip(members, maps)]
+        batch_root = build_versions_batch(batch_store, 1, batch, None, 0, 8)
+        assert batch_root.version == 3
+        for (v, pages), seq_root in zip(members, seq_roots):
+            visible = max(pages) + 1
+            seq = query_pages(seq_store, seq_root, 0, visible)
+            got = query_pages(batch_store, batch_root, 0, visible)
+            assert got == seq
+
+    def test_batch_writes_shared_paths_once(self):
+        """The batch's inner-path nodes are written once, not once per
+        member — fewer total puts than sequential publication."""
+        cap = 256
+        seq_store = MetadataDHT(1)
+        batch_store = MetadataDHT(1)
+        members = [(v, [v - 1]) for v in range(1, 9)]  # 8 one-page appends
+        maps = [{p: frag(f"v{v}") for p in pages} for v, pages in members]
+        root, prev = None, 0
+        for (v, _pages), changes in zip(members, maps):
+            root = build_version(seq_store, 1, v, root, prev, changes, cap)
+            prev = cap
+        build_versions_batch(
+            batch_store, 1, list(zip([v for v, _ in members], maps)), None, 0, cap
+        )
+        assert sum(batch_store.puts) < sum(seq_store.puts) / 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counts=st.lists(
+        st.integers(min_value=1, max_value=6), min_size=1, max_size=12
+    ),
+    splits=st.lists(st.booleans(), min_size=11, max_size=11),
+)
+def test_batched_publication_matches_sequential_oracle(counts, splits):
+    """Randomized append histories, cut into random batches: every
+    version read from the batched trees (clipped at its own visible
+    range) matches both the sequential trees and a dict oracle."""
+    # partition the append run at random points into publish batches
+    batches, current = [], []
+    for i, count in enumerate(counts):
+        current.append((i + 1, count))
+        if i < len(splits) and splits[i]:
+            batches.append(current)
+            current = []
+    if current:
+        batches.append(current)
+
+    seq_store = MetadataDHT(3)
+    batch_store = MetadataDHT(3)
+    oracle: dict[int, str] = {}
+    per_version: dict[int, tuple] = {}  # version -> (visible, oracle copy)
+    seq_roots: dict[int, object] = {}
+    next_page = 0
+    seq_root, seq_cap = None, 0
+    batch_root, batch_cap = None, 0
+    for batch in batches:
+        maps = []
+        for v, count in batch:
+            pages = list(range(next_page, next_page + count))
+            next_page += count
+            maps.append({p: frag(f"v{v}") for p in pages})
+            for p in pages:
+                oracle[p] = f"v{v}"
+            per_version[v] = (next_page, dict(oracle))
+        new_cap = capacity_for(next_page)
+        # sequential: one tree per member version
+        for (v, _count), changes in zip(batch, maps):
+            visible, _ = per_version[v]
+            cap_v = capacity_for(visible)
+            seq_root = build_version(
+                seq_store, 1, v, seq_root, seq_cap, changes, cap_v
+            )
+            seq_cap = cap_v
+            seq_roots[v] = seq_root
+        # batched: one tree for the whole run
+        batch_root = build_versions_batch(
+            batch_store,
+            1,
+            [(v, m) for (v, _), m in zip(batch, maps)],
+            batch_root,
+            batch_cap,
+            new_cap,
+        )
+        batch_cap = new_cap
+        for v, _count in batch:
+            visible, snapshot = per_version[v]
+            got = {
+                i: frags[0].page_id.writer
+                for i, frags in query_pages(
+                    batch_store, batch_root, 0, visible
+                ).items()
+            }
+            assert got == snapshot
+            assert got == {
+                i: frags[0].page_id.writer
+                for i, frags in query_pages(
+                    seq_store, seq_roots[v], 0, visible
+                ).items()
+            }

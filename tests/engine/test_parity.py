@@ -32,12 +32,13 @@ N_PROVIDERS = 8
 CLIENTS = ("node-013", "node-014")
 
 
-def _config(replication=1, lease_s=30.0):
+def _config(replication=1, lease_s=30.0, group_commit=False):
     return BlobSeerConfig(
         page_size=PAGE,
         metadata_providers=3,
         replication=replication,
         append_lease_s=lease_s,
+        group_commit=group_commit,
     )
 
 
@@ -46,7 +47,10 @@ class SimHarness:
 
     name = "des"
 
-    def __init__(self, replication=1, lease_s=30.0, bsfs=False, obs=None):
+    def __init__(
+        self, replication=1, lease_s=30.0, bsfs=False, obs=None,
+        group_commit=False,
+    ):
         self.cluster = SimCluster(ClusterConfig(nodes=20, seed=SEED))
         names = self.cluster.names()
         roles = BlobSeerRoles(
@@ -55,7 +59,7 @@ class SimHarness:
             metadata_providers=tuple(names[2:5]),
             data_providers=tuple(names[5 : 5 + N_PROVIDERS]),
         )
-        cfg = _config(replication, lease_s)
+        cfg = _config(replication, lease_s, group_commit)
         if bsfs:
             dep = SimBSFS(
                 self.cluster,
@@ -108,8 +112,11 @@ class ThreadedHarness:
 
     name = "threaded"
 
-    def __init__(self, replication=1, lease_s=30.0, bsfs=False, obs=None):
-        cfg = _config(replication, lease_s)
+    def __init__(
+        self, replication=1, lease_s=30.0, bsfs=False, obs=None,
+        group_commit=False,
+    ):
+        cfg = _config(replication, lease_s, group_commit)
         if bsfs:
             dep = BSFS(
                 config=cfg, n_providers=N_PROVIDERS, seed=SEED, obs=obs
@@ -217,11 +224,31 @@ def scenario_write_behind(h):
 scenario_write_behind.harness_kw = {"bsfs": True}
 
 
+def scenario_group_commit_append(h):
+    """Group commit on, one appender at a time: each append leads its
+    own batch — ready push, one batched metadata round (the second
+    append's includes the boundary read), one batch publish — and the
+    new ``commit_ready``/``md_many``/``publish_batch`` ops must record
+    identically under both engines."""
+    blob = h.create_blob()
+    h.run(h.proto.append(h.clients[0], blob, Payload(b"a" * (PAGE + 123))))
+    h.run(h.proto.append(h.clients[1], blob, Payload(b"b" * 700)))
+    h.run(h.proto.read(h.clients[1], blob, 0, PAGE + 823))
+    ops = [rec[2] for rec in h.trace if rec[0] == "call" and rec[1] == "vm"]
+    assert ops.count("commit_ready") == 2
+    assert ops.count("publish_batch") == 2
+    assert sum(1 for rec in h.trace if rec[0] == "md_many") == 2
+
+
+scenario_group_commit_append.harness_kw = {"group_commit": True}
+
+
 SCENARIOS = [
     scenario_append_commit,
     scenario_lease_abort,
     scenario_failover_read,
     scenario_write_behind,
+    scenario_group_commit_append,
 ]
 
 

@@ -130,6 +130,7 @@ class TestBenchDocument:
     def test_bench_json_has_no_nan(self):
         from repro.experiments.bench import bench_figure, to_json_dict
         from repro.experiments.kernelbench import run_kernel_bench
+        from repro.experiments.mdbench import run_metadata_bench
 
         fb = bench_figure("fig3", "incremental", scale="quick", repeats=1)
         # a run with no scope samples must report 0.0, never NaN
@@ -141,12 +142,18 @@ class TestBenchDocument:
         kernel = run_kernel_bench(
             scenarios=("ring",), n_events=2_000, repeats=1
         )
-        doc = to_json_dict([run], scale="quick", repeats=1, kernel=kernel)
+        metadata = run_metadata_bench(
+            scenarios=("batch",), n_versions=64, repeats=1
+        )
+        doc = to_json_dict(
+            [run], scale="quick", repeats=1, kernel=kernel, metadata=metadata
+        )
         # allow_nan=False raises on any NaN/inf anywhere in the document
         text = json.dumps(doc, allow_nan=False)
         assert "kernel_microbench" in doc
         assert doc["kernel_microbench"]["ring"]["events"] >= 2_000
-        assert json.loads(text)["schema"] == "repro-bench-sim/v3"
+        assert doc["metadata_microbench"]["batch"]["node_ops"] > 0
+        assert json.loads(text)["schema"] == "repro-bench-sim/v4"
 
 
 class TestKernelBench:

@@ -96,7 +96,7 @@ class TestCLI:
         rc = cli_main(["fig3", "--bench-out", str(out), "--bench-repeats", "1"])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench-sim/v3"
+        assert doc["schema"] == "repro-bench-sim/v4"
         allocs = [r["allocator"] for r in doc["runs"]]
         assert allocs == ["reference", "incremental"]
         for run in doc["runs"]:
@@ -113,6 +113,11 @@ class TestCLI:
         for scenario in ("ring", "timer", "process", "mixed"):
             assert kernel[scenario]["events"] > 0
             assert kernel[scenario]["events_per_s"] > 0
+        metadata = doc["metadata_microbench"]
+        for scenario in ("build", "query", "batch"):
+            assert metadata[scenario]["ops"] > 0
+            assert metadata[scenario]["ops_per_s"] > 0
+            assert metadata[scenario]["node_ops"] > 0
         assert "speedup" in capsys.readouterr().out
 
     def test_bench_out_rejects_filecount(self, capsys, tmp_path):
