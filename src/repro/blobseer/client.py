@@ -35,10 +35,19 @@ class BlobSeerService:
         seed: int = 0,
         store_factory=None,
         obs: Optional[Observability] = None,
+        engine=None,
     ) -> None:
         """*store_factory*, when given, is called with each provider's name
         and must return a :class:`~repro.blobseer.persistence.PageStore`
-        (used to give providers durable log-structured backends)."""
+        (used to give providers durable log-structured backends).
+
+        *engine*, when given, replaces the default
+        :class:`~repro.engine.threaded.ThreadedEngine` — any engine with
+        the same ``bind``/``bind_data`` wiring surface works; the HTTP
+        front-end passes an :class:`~repro.engine.aio.AsyncioEngine`
+        here (note its ``run`` is a coroutine, so the synchronous
+        :class:`BlobClient` facade only works on the threaded default).
+        """
         self.config = config or BlobSeerConfig()
         self.config.validate()
         if n_providers < 1:
@@ -54,7 +63,7 @@ class BlobSeerService:
         self.dht = MetadataDHT(self.config.metadata_providers)
         self.provider_manager = ProviderManager(names, seed=seed, obs=self.obs)
 
-        self.engine = ThreadedEngine(seed=seed, obs=self.obs)
+        self.engine = engine or ThreadedEngine(seed=seed, obs=self.obs)
         self.engine.bind("vm", self.version_manager)
         for name in names:
             # resolve through the dict at call time: tests (and the
@@ -106,7 +115,9 @@ class BlobSeerService:
         self.engine.recover_endpoint(name)
 
     def close(self) -> None:
-        """Release provider persistence backends."""
+        """Release provider persistence backends and drain the version
+        manager's outstanding lease timers (idempotent)."""
+        self.version_manager.close()
         for provider in self.providers.values():
             provider.store.close()
 

@@ -503,7 +503,35 @@ class ThreadedVersionManager:
         self._lease_s = config.append_lease_s if config else 30.0
         self._turn_timeout_s = config.metadata_turn_timeout_s if config else 60.0
         self._lease_timers: Dict[tuple[int, int], threading.Timer] = {}
+        self._closed = False
         self._c_lease_expiries = self.obs.registry.counter("vm.lease_expiries")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def live_lease_timers(self) -> int:
+        """How many lease timers are currently armed. A long-running
+        server must see this return to zero after its in-flight appends
+        resolve — commits/aborts pop and cancel their timer — and the
+        shutdown path asserts it after :meth:`close`."""
+        with self._lock:
+            return len(self._lease_timers)
+
+    def close(self) -> None:
+        """Cancel every outstanding lease timer and refuse to arm new
+        ones (idempotent). A server process calls this on graceful stop:
+        without it, armed ``threading.Timer`` threads for uncommitted
+        tickets keep the interpreter busy until their leases fire, and
+        a timer firing mid-teardown races component teardown."""
+        with self._lock:
+            self._closed = True
+            timers = list(self._lease_timers.values())
+            self._lease_timers.clear()
+        # cancel outside the lock: a concurrently *firing* timer callback
+        # takes the same lock and would deadlock with us; cancel() on an
+        # already-fired timer is a harmless no-op
+        for timer in timers:
+            timer.cancel()
 
     def create_blob(self, page_size: int) -> int:
         with self._lock:
@@ -532,7 +560,7 @@ class ThreadedVersionManager:
         fault and must not count against it, or one expiry would cascade
         through every version stalled behind it.
         """
-        if self._lease_s <= 0:
+        if self._lease_s <= 0 or self._closed:
             return
         self.core.when_turn(
             ticket.blob_id,
@@ -552,6 +580,8 @@ class ThreadedVersionManager:
         if self.core.is_ready(blob_id, version):
             # change map already delivered; publication is the group
             # leader's job, not the (possibly dead) client's
+            return
+        if self._closed:
             return
         key = (blob_id, version)
         timer = threading.Timer(self._lease_s, self._lease_expired, args=key)

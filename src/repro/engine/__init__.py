@@ -10,12 +10,15 @@ provides the runtimes they plug into:
   events, charged against the cluster cost model;
 * :class:`~repro.engine.threaded.ThreadedEngine` — ops as lazy thunks
   resolved by a synchronous trampoline on the wall clock;
+* :class:`~repro.engine.aio.AsyncioEngine` — the same real components
+  driven from one asyncio event loop (the HTTP front-end's runtime);
 * :class:`~repro.engine.recording.RecordingEngine` — a decorator that
   captures the op-creation trace for the engine-parity suite;
 * :mod:`~repro.engine.replica` — the shared replica-failover policy
   (seeded rotation + dead-node memory + bounded backoff sweeps).
 """
 
+from .aio import AsyncioEngine
 from .base import Engine, Payload
 from .des import DesEngine
 from .recording import RecordingEngine
@@ -27,6 +30,7 @@ __all__ = [
     "Payload",
     "DesEngine",
     "ThreadedEngine",
+    "AsyncioEngine",
     "THREADED_RETRY",
     "RecordingEngine",
     "ReplicaSelector",

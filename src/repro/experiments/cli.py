@@ -33,6 +33,18 @@ def _suffixed(path: str, name: str, multi: bool) -> str:
 
 
 def main(argv: List[str] | None = None) -> int:
+    """Entry point: argument errors (bad figure names) exit 2 through
+    argparse's usage message, and Ctrl-C exits 130 with a one-line
+    notice — a long figure run interrupted at the terminal must never
+    splash a raw ``KeyboardInterrupt`` traceback."""
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-fig",
         description=(
@@ -251,12 +263,19 @@ def _bench_main(args, config) -> int:
     )
     kernel = run_kernel_bench(repeats=args.bench_repeats)
     metadata = run_metadata_bench(repeats=args.bench_repeats)
+    from .loadtest import run_loadtest
+
+    http_loadtest = run_loadtest(
+        clients=50 if args.scale == "quick" else 200,
+        duration_s=3.0 if args.scale == "quick" else 10.0,
+    )
     doc = to_json_dict(
         runs,
         scale=args.scale,
         repeats=args.bench_repeats,
         kernel=kernel,
         metadata=metadata,
+        http_loadtest=http_loadtest,
     )
     with open(args.bench_out, "w") as fp:
         json.dump(doc, fp, indent=2)
@@ -273,6 +292,8 @@ def _bench_main(args, config) -> int:
             f"  {mb.scenario}: {mb.ops} ops in {mb.wall_s:.3f}s "
             f"({mb.ops_per_s:,.0f}/s, {mb.node_ops} node ops)"
         )
+    print("[http loadtest]")
+    print("  " + http_loadtest.to_text().replace("\n", "\n  "))
     for run in runs:
         print(f"[{run.allocator}]")
         for name, fb in run.figures.items():

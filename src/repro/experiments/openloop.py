@@ -237,9 +237,22 @@ def open_loop_sweep(
 
 
 def find_knee(points: Sequence[OpenLoopPoint]) -> Optional[OpenLoopPoint]:
-    """The first sweep point past saturation: goodput short of 90% of
-    the offered load (None while every point keeps up)."""
-    for p in points:
-        if p.goodput_ops_s < 0.9 * p.offered_ops_s:
-            return p
+    """The first sweep point past *sustained* saturation (None while the
+    system keeps up).
+
+    A point is short when its goodput is under 90% of the offered load,
+    but one noisy mid-sweep dip on an otherwise-keeping-up sweep is not
+    a knee: the shortfall must persist — either for the remainder of the
+    sweep or for at least two consecutive points. A lone short *final*
+    point still qualifies (the remainder-of-sweep condition is trivially
+    met at the highest offered load, which is where real saturation
+    shows up first).
+    """
+    short = [p.goodput_ops_s < 0.9 * p.offered_ops_s for p in points]
+    n = len(short)
+    for i, is_short in enumerate(short):
+        if not is_short:
+            continue
+        if all(short[i:]) or (i + 1 < n and short[i + 1]):
+            return points[i]
     return None

@@ -27,23 +27,34 @@ from .timeseries import _NULL_TIMESERIES, TimeSeries
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    Thread-safe: the HTTP server increments request counters from
+    concurrent handler tasks and wait-pool threads, and ``+=`` on an
+    attribute is a read-modify-write that drops updates under races.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value:g}>"
 
 
 class Gauge:
-    """A point-in-time value (queue depth, imbalance ratio, …)."""
+    """A point-in-time value (queue depth, imbalance ratio, …).
+
+    A set is a single attribute store (atomic under the GIL), so no
+    lock is needed; last-writer-wins is the right semantics anyway.
+    """
 
     __slots__ = ("name", "value")
 
@@ -66,17 +77,26 @@ class Histogram:
     histogram name): ``count``/``mean``/``min``/``max`` remain exact
     over the whole stream, while percentiles are estimated from the
     reservoir. Default is unbounded (keep everything).
+
+    Thread-safe: observes and percentile readouts may come from
+    concurrent server threads/tasks, and both the reservoir swap and
+    the lazy re-sort are multi-step mutations that corrupt under races.
+    An *empty* histogram (idle server, zero requests) reads out as
+    all-zero, never NaN and never an error: ``percentile``/``mean``
+    return ``0.0`` and ``summary()`` is all-zero, so run reports on an
+    idle process always render.
     """
 
     __slots__ = (
         "name", "_samples", "_sorted", "total",
-        "_max_samples", "_n", "_min", "_max", "_rng",
+        "_max_samples", "_n", "_min", "_max", "_rng", "_lock",
     )
 
     def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
         if max_samples is not None and max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self.name = name
+        self._lock = threading.Lock()
         self._samples: List[float] = []
         self._sorted = True
         self.total = 0.0
@@ -92,26 +112,27 @@ class Histogram:
         )
 
     def observe(self, value: float) -> None:
-        n = self._n
-        self._n = n + 1
-        self.total += value
-        if n == 0:
-            self._min = self._max = value
-        else:
-            if value < self._min:
-                self._min = value
-            if value > self._max:
-                self._max = value
-        cap = self._max_samples
-        if cap is None or len(self._samples) < cap:
-            self._samples.append(value)
-            self._sorted = False
-        else:
-            # Algorithm R: keep each of the n+1 values with prob cap/(n+1)
-            j = self._rng.randrange(n + 1)
-            if j < cap:
-                self._samples[j] = value
+        with self._lock:
+            n = self._n
+            self._n = n + 1
+            self.total += value
+            if n == 0:
+                self._min = self._max = value
+            else:
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+            cap = self._max_samples
+            if cap is None or len(self._samples) < cap:
+                self._samples.append(value)
                 self._sorted = False
+            else:
+                # Algorithm R: keep each of the n+1 values with prob cap/(n+1)
+                j = self._rng.randrange(n + 1)
+                if j < cap:
+                    self._samples[j] = value
+                    self._sorted = False
 
     @property
     def count(self) -> int:
@@ -131,20 +152,27 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """The *p*-th percentile (0..100), linearly interpolated between
-        order statistics — numpy's default method. 0.0 when empty."""
+        order statistics — numpy's default method.
+
+        An empty histogram returns ``0.0`` (documented contract: never
+        NaN, never an exception — idle-server reports must render).
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} outside [0, 100]")
-        if not self._samples:
-            return 0.0
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        rank = (p / 100.0) * (len(self._samples) - 1)
-        lo = int(rank)
-        frac = rank - lo
-        if frac == 0.0 or lo + 1 >= len(self._samples):
-            return self._samples[lo]
-        return self._samples[lo] + frac * (self._samples[lo + 1] - self._samples[lo])
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            if not self._sorted:
+                self._samples.sort()
+                self._sorted = True
+            rank = (p / 100.0) * (len(self._samples) - 1)
+            lo = int(rank)
+            frac = rank - lo
+            if frac == 0.0 or lo + 1 >= len(self._samples):
+                return self._samples[lo]
+            return self._samples[lo] + frac * (
+                self._samples[lo + 1] - self._samples[lo]
+            )
 
     def summary(self) -> Dict[str, float]:
         """count/mean/min/p50/p95/p99/max in one dict."""

@@ -335,3 +335,61 @@ class TestAppendLeases:
         vm.assign_append(blob, 10)
         with pytest.raises(VersionNotReadyError):
             vm.wait_metadata_turn(blob, 2)  # no explicit timeout
+
+
+class TestClose:
+    """Lifecycle: ``close()`` must drain every armed lease timer — a
+    long-running process (the HTTP server) leaks timer threads and hangs
+    interpreter shutdown otherwise."""
+
+    def test_close_cancels_outstanding_lease_timers(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=30.0)
+        )
+        blob = vm.create_blob(64)
+        for _ in range(5):
+            vm.assign_append(blob, 10)  # head timer armed, rest queued
+        assert vm.live_lease_timers >= 1
+        vm.close()
+        assert vm.live_lease_timers == 0
+
+    def test_close_is_idempotent(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=30.0)
+        )
+        blob = vm.create_blob(64)
+        vm.assign_append(blob, 10)
+        vm.close()
+        vm.close()
+        assert vm.live_lease_timers == 0
+
+    def test_no_timer_armed_after_close(self):
+        # assignments racing with shutdown must not re-arm timers
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=30.0)
+        )
+        blob = vm.create_blob(64)
+        vm.close()
+        vm.assign_append(blob, 10)
+        assert vm.live_lease_timers == 0
+
+    def test_close_under_concurrent_assignments(self):
+        vm = ThreadedVersionManager(
+            config=BlobSeerConfig(append_lease_s=30.0)
+        )
+        blob = vm.create_blob(64)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                vm.assign_append(blob, 1)
+
+        workers = [threading.Thread(target=churn) for _ in range(4)]
+        for w in workers:
+            w.start()
+        time.sleep(0.05)
+        vm.close()
+        stop.set()
+        for w in workers:
+            w.join()
+        assert vm.live_lease_timers == 0

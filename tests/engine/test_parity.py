@@ -1,14 +1,17 @@
 """Engine parity: the protocol cores issue the *same RPC sequence*
-under both runtimes.
+under all three runtimes.
 
 Each scenario drives fresh :class:`BlobSeerProtocol`/:class:`BSFSProtocol`
 instances through a :class:`~repro.engine.recording.RecordingEngine`
-wrapped around each deployment's real engine, then asserts the two
-recorded traces are identical, element for element. Provider names are
-normalized to placement indices (``p0``..``p7``) since the runtimes name
-their nodes differently; client names and every seed are shared, so
-placement, replica rotation, and metadata access logs must coincide.
+wrapped around each deployment's real engine, then asserts the
+recorded traces — DES, threaded, and asyncio — are identical, element
+for element. Provider names are normalized to placement indices
+(``p0``..``p7``) since the runtimes name their nodes differently;
+client names and every seed are shared, so placement, replica
+rotation, and metadata access logs must coincide.
 """
+
+import asyncio
 
 import pytest
 
@@ -20,6 +23,7 @@ from repro.bsfs.protocol import AppendStreamCore, BSFSProtocol
 from repro.bsfs.simulated import BSFSRoles, SimBSFS
 from repro.common.config import BlobSeerConfig, ClusterConfig
 from repro.common.errors import PageNotFoundError
+from repro.engine.aio import AsyncioEngine
 from repro.engine.base import Payload
 from repro.engine.recording import RecordingEngine
 from repro.sim.cluster import SimCluster
@@ -160,6 +164,62 @@ class ThreadedHarness:
         return compute_layout(self.svc.dht, rec, PAGE)
 
 
+class AsyncioHarness:
+    """The asyncio deployment behind the same recording stack: the same
+    threaded components, bound to an :class:`AsyncioEngine`, each
+    protocol run driven to completion by ``asyncio.run``."""
+
+    name = "asyncio"
+
+    def __init__(
+        self, replication=1, lease_s=30.0, bsfs=False, obs=None,
+        group_commit=False,
+    ):
+        cfg = _config(replication, lease_s, group_commit)
+        engine = AsyncioEngine(seed=SEED, obs=obs)
+        self.svc = BlobSeerService(
+            config=cfg,
+            n_providers=N_PROVIDERS,
+            seed=SEED,
+            obs=obs,
+            engine=engine,
+        )
+        if bsfs:
+            dep = BSFS(service=self.svc, obs=obs)
+        self.providers = [f"provider-{i:03d}" for i in range(N_PROVIDERS)]
+        labels = {n: f"p{i}" for i, n in enumerate(self.providers)}
+        self.eng = RecordingEngine(
+            self.svc.engine, endpoint_label=lambda n: labels.get(n, n)
+        )
+        self.proto = BlobSeerProtocol(
+            self.eng, cfg, self.svc.provider_manager, self.svc.dht, obs=obs
+        )
+        self.bsfs = (
+            BSFSProtocol(self.eng, self.proto, obs=obs) if bsfs else None
+        )
+        self.clients = CLIENTS
+        self.trace = self.eng.trace
+
+    def create_blob(self):
+        return self.svc.create_blob()
+
+    def run(self, gen):
+        return asyncio.run(self.eng.run(gen))
+
+    def ticket_only(self, blob, nbytes):
+        def gen():
+            yield self.eng.call("vm", "assign_append", blob, nbytes)
+
+        self.run(gen())
+
+    def fail(self, name):
+        self.svc.fail_provider(name)
+
+    def layout(self, blob):
+        rec = self.svc.version_manager.latest_published(blob)
+        return compute_layout(self.svc.dht, rec, PAGE)
+
+
 # -- scenarios ---------------------------------------------------------------
 
 
@@ -253,12 +313,17 @@ SCENARIOS = [
 
 
 @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.__name__)
-def test_rpc_trace_identical_under_both_engines(scenario):
+def test_rpc_trace_identical_under_all_engines(scenario):
     sim = SimHarness(**scenario.harness_kw)
     scenario(sim)
     threaded = ThreadedHarness(**scenario.harness_kw)
     scenario(threaded)
+    aio = AsyncioHarness(**scenario.harness_kw)
+    scenario(aio)
     assert sim.trace, "scenario recorded nothing"
     assert sim.trace == threaded.trace
+    assert sim.trace == aio.trace
     # a real protocol exchange, not a trivial one
     assert len(sim.trace) >= 6
+    aio.svc.close()
+    aio.svc.engine.close()

@@ -125,6 +125,46 @@ class TestFindKnee:
         pts = [self._pt(100, 99), self._pt(200, 195)]
         assert find_knee(pts) is None
 
+    def test_transient_dip_is_not_a_knee(self):
+        # one noisy mid-sweep shortfall with full recovery after it —
+        # the old first-short-point rule fired here and misreported
+        # capacity at 200 ops/s
+        pts = [
+            self._pt(100, 99),
+            self._pt(200, 150),  # dip
+            self._pt(400, 390),  # recovered
+            self._pt(800, 780),
+        ]
+        assert find_knee(pts) is None
+
+    def test_dip_then_real_knee_reports_the_knee(self):
+        pts = [
+            self._pt(100, 99),
+            self._pt(200, 150),  # transient dip
+            self._pt(400, 390),  # recovered
+            self._pt(800, 500),  # saturated from here on
+            self._pt(1600, 520),
+        ]
+        assert find_knee(pts) is pts[3]
+
+    def test_two_consecutive_short_points_qualify_despite_recovery(self):
+        # sustained (>= 2 points) shortfall is a knee even if a later
+        # point wobbles back over the 90% line
+        pts = [
+            self._pt(100, 99),
+            self._pt(200, 150),
+            self._pt(400, 300),
+            self._pt(800, 790),
+        ]
+        assert find_knee(pts) is pts[1]
+
+    def test_lone_final_short_point_is_a_knee(self):
+        # saturation first appears at the sweep's top rate; there is no
+        # "next point" to confirm with, and the remainder-of-sweep
+        # condition is trivially met
+        pts = [self._pt(100, 99), self._pt(200, 195), self._pt(400, 250)]
+        assert find_knee(pts) is pts[2]
+
 
 class TestBenchDocument:
     def test_bench_json_has_no_nan(self):
@@ -153,7 +193,7 @@ class TestBenchDocument:
         assert "kernel_microbench" in doc
         assert doc["kernel_microbench"]["ring"]["events"] >= 2_000
         assert doc["metadata_microbench"]["batch"]["node_ops"] > 0
-        assert json.loads(text)["schema"] == "repro-bench-sim/v4"
+        assert json.loads(text)["schema"] == "repro-bench-sim/v5"
 
 
 class TestKernelBench:

@@ -27,6 +27,27 @@ SANS_IO_FILES = [
 #: stdlib roots that would smuggle a runtime into a protocol core
 FORBIDDEN_ROOTS = {"time", "threading", "concurrent", "socket", "asyncio"}
 
+#: repro packages a core must not reach into: the sim kernel, and every
+#: concrete engine implementation (a core importing ``engine.aio`` or
+#: ``engine.threaded`` is bound to one runtime — the parity suite's
+#: whole premise is that it is bound to none)
+FORBIDDEN_REPRO = ("sim", "engine.des", "engine.threaded", "engine.aio")
+
+
+def _forbidden_repro(module: str) -> bool:
+    return any(
+        module == f"repro.{m}" or module.startswith(f"repro.{m}.")
+        for m in FORBIDDEN_REPRO
+    )
+
+
+def _forbidden_relative(module: str) -> bool:
+    # ``from ..sim import``, ``from ..engine.threaded import`` — and,
+    # for the files living inside the engine package itself, the
+    # sibling forms ``from .threaded import`` / ``from .aio import``
+    names = FORBIDDEN_REPRO + ("des", "threaded", "aio")
+    return any(module == m or module.startswith(f"{m}.") for m in names)
+
 
 def _violations(path: Path):
     tree = ast.parse(path.read_text(), filename=str(path))
@@ -37,19 +58,18 @@ def _violations(path: Path):
                 root = alias.name.split(".")[0]
                 if root in FORBIDDEN_ROOTS:
                     found.append(f"{path.name}:{node.lineno} import {alias.name}")
-                if alias.name == "repro.sim" or alias.name.startswith("repro.sim."):
+                if _forbidden_repro(alias.name):
                     found.append(f"{path.name}:{node.lineno} import {alias.name}")
         elif isinstance(node, ast.ImportFrom):
             module = node.module or ""
             root = module.split(".")[0]
             if node.level == 0 and root in FORBIDDEN_ROOTS:
                 found.append(f"{path.name}:{node.lineno} from {module} import ...")
-            if node.level == 0 and (
-                module == "repro.sim" or module.startswith("repro.sim.")
-            ):
+            if node.level == 0 and _forbidden_repro(module):
                 found.append(f"{path.name}:{node.lineno} from {module} import ...")
-            # relative imports of the sim package (from ..sim import, from .sim import)
-            if node.level > 0 and (module == "sim" or module.startswith("sim.")):
+            # relative imports (from ..sim import, from .threaded import
+            # inside the engine package, etc.)
+            if node.level > 0 and _forbidden_relative(module):
                 found.append(
                     f"{path.name}:{node.lineno} from {'.' * node.level}{module} "
                     "import ..."
@@ -75,5 +95,20 @@ def test_lint_catches_forbidden_imports(tmp_path):
         "from threading import Lock\n"
         "from ..sim.core import Event\n"
         "from repro.sim import cluster\n"
+        "from repro.engine.aio import AsyncioEngine\n"
+        "from ..engine.threaded import ThreadedEngine\n"
+        "from .aio import AsyncioEngine\n"
     )
-    assert len(_violations(bad)) == 4
+    assert len(_violations(bad)) == 7
+
+
+def test_lint_allows_engine_base(tmp_path):
+    """Importing the engine *interface* stays legal — only concrete
+    runtimes are banned."""
+    ok = tmp_path / "clean.py"
+    ok.write_text(
+        "from repro.engine.base import Engine, Payload\n"
+        "from ..engine.base import Engine\n"
+        "from .base import Engine\n"
+    )
+    assert _violations(ok) == []
