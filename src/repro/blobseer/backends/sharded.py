@@ -1,0 +1,153 @@
+"""The sharded file-per-page backend.
+
+Each page is one file named by the hex of its key, spread over a fixed
+set of hash-sharded subdirectories so no single directory grows
+unboundedly. Writes go through a temp file + atomic rename, so a crash
+mid-write never leaves a torn page — recovery is a directory scan that
+sweeps leftover temp files. With ``fsync`` enabled, durability is
+*batched*: pages become durable in groups of ``fsync_batch`` (one fsync
+pass over the batch plus its shard directories) instead of one fsync
+per put — the same amortization group commit applies to metadata.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import List, Set
+
+from ...common.errors import PageNotFoundError
+
+#: default number of shard subdirectories
+DEFAULT_SHARDS = 16
+
+#: default batched-fsync group size
+DEFAULT_FSYNC_BATCH = 8
+
+_TMP_SUFFIX = ".tmp"
+
+
+class ShardedFilePageStore:
+    """Durable store: one file per page in hash-sharded directories."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        shards: int = DEFAULT_SHARDS,
+        fsync: bool = False,
+        fsync_batch: int = DEFAULT_FSYNC_BATCH,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if fsync_batch < 1:
+            raise ValueError("fsync_batch must be >= 1")
+        self.root = Path(root)
+        self.shards = shards
+        self.fsync = fsync
+        self.fsync_batch = fsync_batch
+        #: fsync passes performed (each covers up to ``fsync_batch`` puts)
+        self.fsync_passes = 0
+        self._lock = threading.Lock()
+        self._keys: Set[bytes] = set()
+        #: files written since the last fsync pass
+        self._pending: List[Path] = []
+        for i in range(shards):
+            (self.root / f"shard-{i:02d}").mkdir(parents=True, exist_ok=True)
+        self._recover()
+
+    # -- layout ---------------------------------------------------------------
+
+    def _path(self, key: bytes) -> Path:
+        shard = zlib.crc32(key) % self.shards
+        return self.root / f"shard-{shard:02d}" / key.hex()
+
+    def _recover(self) -> None:
+        """Rebuild the key set; sweep temp files from interrupted puts."""
+        for shard_dir in self.root.iterdir():
+            if not shard_dir.is_dir():
+                continue
+            for entry in shard_dir.iterdir():
+                if entry.name.endswith(_TMP_SUFFIX):
+                    entry.unlink(missing_ok=True)
+                    continue
+                try:
+                    self._keys.add(bytes.fromhex(entry.name))
+                except ValueError:
+                    continue  # foreign file: not one of ours
+
+    # -- API ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        path = self._path(key)
+        tmp = path.with_name(path.name + _TMP_SUFFIX)
+        with self._lock:
+            with open(tmp, "wb") as fp:
+                fp.write(value)
+            os.replace(tmp, path)
+            self._keys.add(key)
+            if self.fsync:
+                self._pending.append(path)
+                if len(self._pending) >= self.fsync_batch:
+                    self._fsync_pending()
+
+    def _fsync_pending(self) -> None:
+        """One fsync pass over the pending batch (lock held)."""
+        dirs = set()
+        for path in self._pending:
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except FileNotFoundError:
+                continue  # deleted before it was ever synced
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            dirs.add(path.parent)
+        for d in dirs:
+            fd = os.open(d, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._pending.clear()
+        self.fsync_passes += 1
+
+    def flush(self) -> None:
+        """Force the pending batch durable without waiting for a full one."""
+        with self._lock:
+            if self._pending:
+                self._fsync_pending()
+
+    def get(self, key: bytes) -> bytes:
+        with self._lock:
+            if key not in self._keys:
+                raise PageNotFoundError(f"no page {key!r}")
+        try:
+            with open(self._path(key), "rb") as fp:
+                return fp.read()
+        except FileNotFoundError:  # pragma: no cover - raced delete
+            raise PageNotFoundError(f"no page {key!r}") from None
+
+    def contains(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._keys
+
+    def delete(self, key: bytes) -> None:
+        with self._lock:
+            self._keys.discard(key)
+            self._path(key).unlink(missing_ok=True)
+
+    def keys(self) -> List[bytes]:
+        with self._lock:
+            return list(self._keys)
+
+    def close(self) -> None:
+        """Make everything pending durable, then release."""
+        if self.fsync:
+            self.flush()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)

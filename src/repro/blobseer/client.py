@@ -18,7 +18,9 @@ from ..common.intervals import Extent
 from ..engine.base import Payload
 from ..engine.threaded import ThreadedEngine
 from ..obs import NULL_OBS, Observability
+from .backends import store_factory_from_config
 from .metadata.dht import MetadataDHT
+from .placement import make_placement_policy
 from .protocol import BlobSeerProtocol, compute_layout
 from .provider import Provider
 from .provider_manager import ProviderManager
@@ -36,10 +38,14 @@ class BlobSeerService:
         store_factory=None,
         obs: Optional[Observability] = None,
         engine=None,
+        topology: Optional[Dict[str, str]] = None,
     ) -> None:
         """*store_factory*, when given, is called with each provider's name
         and must return a :class:`~repro.blobseer.persistence.PageStore`
-        (used to give providers durable log-structured backends).
+        (used to give providers durable log-structured backends); when
+        ``None`` it is derived from the config's ``page_store_backend``
+        knobs (see :mod:`repro.blobseer.backends`). *topology* maps
+        provider name -> rack name for the rack-aware placement policy.
 
         *engine*, when given, replaces the default
         :class:`~repro.engine.threaded.ThreadedEngine` — any engine with
@@ -55,13 +61,21 @@ class BlobSeerService:
         self.obs = obs or NULL_OBS
         self.seed = seed
         names = [f"provider-{i:03d}" for i in range(n_providers)]
+        if store_factory is None:
+            store_factory = store_factory_from_config(self.config)
         self.providers: Dict[str, Provider] = {
             name: Provider(name, store_factory(name) if store_factory else None)
             for name in names
         }
         self.version_manager = ThreadedVersionManager(self.obs, config=self.config)
         self.dht = MetadataDHT(self.config.metadata_providers)
-        self.provider_manager = ProviderManager(names, seed=seed, obs=self.obs)
+        self.provider_manager = ProviderManager(
+            names,
+            seed=seed,
+            obs=self.obs,
+            policy=make_placement_policy(self.config.placement_policy),
+            topology=topology,
+        )
 
         self.engine = engine or ThreadedEngine(seed=seed, obs=self.obs)
         self.engine.bind("vm", self.version_manager)
@@ -82,6 +96,7 @@ class BlobSeerService:
             self.dht,
             obs=self.obs,
         )
+        self._replicator = None
 
     # -- service operations -------------------------------------------------
 
@@ -113,6 +128,20 @@ class BlobSeerService:
         self.providers[name].recover()
         self.provider_manager.mark_up(name)
         self.engine.recover_endpoint(name)
+
+    def rereplicate_once(self, client: str = "rereplicator") -> int:
+        """Run one re-replication scan (requires the ``rereplication``
+        config knob): promote hot pages and repair crash-lost replicas.
+        Returns the number of copies made by this scan."""
+        if self._replicator is None:
+            from .rereplication import HotPageReplicator
+
+            self._replicator = HotPageReplicator(
+                self.protocol, client, obs=self.obs
+            )
+        before = self._replicator.copies
+        self.engine.run(self._replicator.scan())
+        return self._replicator.copies - before
 
     def close(self) -> None:
         """Release provider persistence backends and drain the version

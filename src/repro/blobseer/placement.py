@@ -1,0 +1,178 @@
+"""Pluggable page-placement policies.
+
+The provider manager used to hard-code the paper's least-allocated-first
+heuristic; this module splits the *choice* out of the *bookkeeping* so a
+deployment can select how replicas land on providers
+(``BlobSeerConfig.placement_policy``):
+
+* :class:`LeastLoadedPolicy` — the default and the paper's behaviour:
+  each replica goes to the provider with the fewest bytes allocated so
+  far (seeded tie-break), served from the manager's lazy heap;
+* :class:`RoundRobinPolicy` — a rotating cursor over the seeded provider
+  order, load-blind; the classic HDFS-style baseline the policy-matrix
+  benchmark compares against;
+* :class:`RackAwarePolicy` — replicas of one page land on distinct
+  racks (least-loaded within that constraint), so a rack-level failure
+  cannot take out every copy. Providers without a known rack count as
+  their own singleton rack.
+
+A policy's :meth:`~PlacementPolicy.pick` runs under the provider
+manager's lock and reads its bookkeeping (load table, down set, seeded
+ranks, heap, topology); the manager applies the load accounting
+afterwards, identically for every policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class PlacementPolicy(ABC):
+    """Chooses *replication* distinct providers for one page."""
+
+    #: registry name (mirrors ``BlobSeerConfig.placement_policy``)
+    name: str = ""
+    #: whether the policy consumes the manager's lazy least-loaded heap
+    #: (the manager only maintains the heap when its policy uses it)
+    uses_heap: bool = False
+
+    @abstractmethod
+    def pick(self, pm, replication: int, prefer: Optional[str]) -> List[str]:
+        """Providers for one page, primary first (lock held by caller)."""
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Least-allocated-first with seeded tie-breaking — the paper's
+    load-balancing heuristic, served from the manager's lazy heap."""
+
+    name = "least_loaded"
+    uses_heap = True
+
+    def pick(self, pm, replication: int, prefer: Optional[str]) -> List[str]:
+        chosen: List[str] = []
+        if prefer is not None and prefer in pm._load and prefer not in pm._down:
+            loads = sorted(
+                v for n, v in pm._load.items() if n not in pm._down
+            )
+            median = loads[len(loads) // 2]
+            if pm._load[prefer] <= median:
+                chosen.append(prefer)
+        if len(chosen) >= replication:
+            return chosen[:replication]
+        load, down, heap = pm._load, pm._down, pm._heap
+        while len(chosen) < replication:
+            lo, _r, name = heapq.heappop(heap)
+            if name in down or load[name] != lo or name in chosen:
+                continue  # failed, stale, or duplicate entry: discard
+            chosen.append(name)
+        return chosen
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """A rotating cursor over the seeded provider order, load-blind."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, pm, replication: int, prefer: Optional[str]) -> List[str]:
+        ring = pm._ring_order
+        chosen: List[str] = []
+        if (
+            prefer is not None
+            and prefer in pm._load
+            and prefer not in pm._down
+        ):
+            chosen.append(prefer)
+        i = self._cursor
+        scanned = 0
+        n = len(ring)
+        while len(chosen) < replication and scanned < n:
+            name = ring[i % n]
+            i += 1
+            scanned += 1
+            if name in pm._down or name in chosen:
+                continue
+            chosen.append(name)
+        # the next page starts one past where this one started, so equal
+        # pages spiral over the ring instead of re-walking it
+        self._cursor = (self._cursor + 1) % n
+        return chosen
+
+
+class RackAwarePolicy(PlacementPolicy):
+    """Replicas on distinct racks, least-loaded within the constraint.
+
+    When fewer alive racks than replicas exist, the remainder relaxes to
+    distinct providers regardless of rack — availability degrades
+    gracefully instead of failing the write.
+    """
+
+    name = "rack_aware"
+
+    def pick(self, pm, replication: int, prefer: Optional[str]) -> List[str]:
+        topology = pm._topology
+        chosen: List[str] = []
+        used_racks = set()
+
+        def rack_of(name: str) -> str:
+            # unmapped providers count as their own singleton rack
+            return topology.get(name, name)
+
+        if (
+            prefer is not None
+            and prefer in pm._load
+            and prefer not in pm._down
+        ):
+            loads = sorted(
+                v for n, v in pm._load.items() if n not in pm._down
+            )
+            median = loads[len(loads) // 2]
+            if pm._load[prefer] <= median:
+                chosen.append(prefer)
+                used_racks.add(rack_of(prefer))
+        candidates = sorted(
+            (n for n in pm._load if n not in pm._down and n not in chosen),
+            key=lambda n: (pm._load[n], pm._rank[n]),
+        )
+        for name in candidates:
+            if len(chosen) >= replication:
+                break
+            if rack_of(name) in used_racks:
+                continue
+            chosen.append(name)
+            used_racks.add(rack_of(name))
+        # fewer racks than replicas: relax to distinct providers
+        for name in candidates:
+            if len(chosen) >= replication:
+                break
+            if name not in chosen:
+                chosen.append(name)
+        return chosen
+
+
+_POLICIES = {
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    RackAwarePolicy.name: RackAwarePolicy,
+}
+
+
+def make_placement_policy(name: str) -> PlacementPolicy:
+    """A fresh policy instance by registry name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r} "
+            f"(known: {', '.join(sorted(_POLICIES))})"
+        ) from None
+    return cls()
+
+
+def available_policies() -> List[str]:
+    """Names of every placement policy, sorted."""
+    return sorted(_POLICIES)

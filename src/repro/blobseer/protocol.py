@@ -37,7 +37,7 @@ from ..common.errors import (
     RpcTimeoutError,
 )
 from ..engine.base import Engine, Payload
-from ..engine.replica import ReplicaSelector, sweep_fetch
+from ..engine.replica import ReplicaSelector, make_read_policy
 from ..obs import NULL_OBS, Observability
 from .metadata.dht import CachingStore, MetadataDHT, NodeCache, RecordingStore
 from .metadata.segment_tree import (
@@ -125,6 +125,17 @@ class BlobSeerProtocol:
         #: group commit: batch ready consecutive appenders into one
         #: publish round (see :meth:`_publish_batch`)
         self._group_commit = bool(getattr(config, "group_commit", False))
+        #: replica read policy (sweep failover by default; quorum reads
+        #: contact ``read_quorum`` replicas per fetch)
+        self.read_policy = make_read_policy(config, self.obs.registry)
+        #: replica directory feeding the re-replication daemon; ``None``
+        #: (and zero-overhead) unless the ``rereplication`` knob is on
+        if getattr(config, "rereplication", False):
+            from .rereplication import ReplicaDirectory
+
+            self.directory: Optional[ReplicaDirectory] = ReplicaDirectory()
+        else:
+            self.directory = None
 
     def _node_store(self):
         """``(algorithm store, recording store)`` for one metadata op.
@@ -328,6 +339,11 @@ class BlobSeerProtocol:
                 engine.trace_parent(sp_ship)
                 yield engine.gather(shippers)
         sp_ship.finish()
+        if self.directory is not None:
+            for frag in new_frags.values():
+                self.directory.note_page(
+                    frag.page_id, frag.providers, frag.length
+                )
 
         if group:
             group_end = yield from self._group_publish(
@@ -703,15 +719,25 @@ class BlobSeerProtocol:
         sp_fetch = self.obs.tracer.start(
             "pages.fetch", cat="blobseer.data", parent=sp, track=client
         )
+        directory = self.directory
+        if directory is not None:
+            for _, piece in jobs:
+                directory.note_read(piece.page_id)
         buf: Optional[bytearray] = None
-        if engine.faults_active:
+        if engine.faults_active or self.read_policy.serial_fetch:
             sel = self.selector(client)
             for out_pos, piece in jobs:
-                data = yield from sweep_fetch(
+                providers = piece.providers
+                if directory is not None:
+                    # re-replicated copies are readable too
+                    providers = directory.providers_for(
+                        piece.page_id, providers
+                    )
+                data = yield from self.read_policy.fetch(
                     engine,
                     sel,
                     client,
-                    piece.providers,
+                    providers,
                     piece.page_id,
                     piece.data_offset,
                     piece.length,

@@ -1,12 +1,18 @@
-"""The provider manager — load-balanced page placement.
+"""The provider manager — policy-driven page placement.
 
 When a client writes pages it asks the provider manager for a list of
 target providers; "the distribution of pages to providers aims at
-achieving load-balancing". The strategy here is the least-allocated-
-first heuristic: each page (and each of its replicas) goes to the
-provider with the least bytes allocated so far, with deterministic
-seeded tie-breaking. Failed providers are skipped; replicas of one page
-always land on distinct providers.
+achieving load-balancing". The manager owns the bookkeeping every
+policy shares — the byte-load table, the down set, seeded tie-break
+ranks, and the lazy least-loaded heap — and delegates the actual choice
+to a :class:`~repro.blobseer.placement.PlacementPolicy` (least-loaded
+by default; round-robin and rack-aware are selectable per deployment).
+Failed providers are skipped; replicas of one page always land on
+distinct providers.
+
+Tie-break ranks are drawn from a seeded permutation over the *sorted*
+provider names, so equal-load choices are deterministic for a given
+seed regardless of the order the deployment listed its providers in.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 from ..common.errors import ReplicationError
 from ..common.rng import substream
 from ..obs import NULL_OBS, Observability
+from .placement import LeastLoadedPolicy, PlacementPolicy
 
 
 class ProviderManager:
@@ -31,34 +38,50 @@ class ProviderManager:
         provider_names: Sequence[str],
         seed: int = 0,
         obs: Optional[Observability] = None,
+        policy: Optional[PlacementPolicy] = None,
+        topology: Optional[Dict[str, str]] = None,
     ) -> None:
+        """*policy* defaults to the paper's least-loaded heuristic;
+        *topology* maps provider name -> rack name (used by the
+        rack-aware policy; others ignore it)."""
         if not provider_names:
             raise ValueError("need at least one provider")
         if len(set(provider_names)) != len(provider_names):
             raise ValueError("duplicate provider names")
         obs = obs or NULL_OBS
+        self._registry = obs.registry
         self._c_allocations = obs.registry.counter("pm.allocations")
         self._c_pages = obs.registry.counter("pm.pages_placed")
         self._c_bytes = obs.registry.counter("pm.bytes_placed")
         self._g_imbalance = obs.registry.gauge("pm.imbalance")
-        #: the imbalance readout is O(providers) per allocation — worth
-        #: computing only when somebody will read it
+        #: the imbalance readout and the per-provider load gauges are
+        #: O(providers) per allocation — worth computing only when
+        #: somebody will read them
         self._track_imbalance = obs.registry.enabled
         self._lock = threading.Lock()
         self._load: Dict[str, int] = {name: 0 for name in provider_names}
         self._down: set[str] = set()
         self._rng = substream(seed, "provider-manager")
-        # random but deterministic tie-break ranks
-        names = list(provider_names)
+        self.policy: PlacementPolicy = policy or LeastLoadedPolicy()
+        self._topology: Dict[str, str] = dict(topology or {})
+        # seeded tie-break ranks, drawn over the sorted names so the
+        # permutation is a function of (seed, name set) alone — feeding
+        # the same providers in a different order must not change
+        # placement (regression: tie-breaking used to follow the input
+        # dict's iteration order)
+        names = sorted(provider_names)
         order = self._rng.permutation(len(names))
         self._rank: Dict[str, int] = {names[i]: int(order[i]) for i in range(len(names))}
+        #: the round-robin ring: names in seeded-rank order
+        self._ring_order: List[str] = sorted(names, key=self._rank.__getitem__)
         self._counter = itertools.count()
         # lazy least-loaded heap: entries are (load, rank, name); an
         # entry is current iff its load matches the table (each push
         # happens on a strictly increasing load, so at most one entry
         # per name is ever current). Popping currents in heap order is
         # exactly the (load, rank) sort order, without sorting all
-        # providers on every page placement.
+        # providers on every page placement. Only the least-loaded
+        # policy consumes it; other policies skip its maintenance.
         self._heap: List[Tuple[int, int, str]] = [
             (0, self._rank[n], n) for n in names
         ]
@@ -80,10 +103,11 @@ class ProviderManager:
                 self._down.discard(name)
                 # its pre-failure heap entry may already be consumed;
                 # push a fresh current one (duplicates are harmless,
-                # _pick drops whichever it sees second)
-                heapq.heappush(
-                    self._heap, (self._load[name], self._rank[name], name)
-                )
+                # the policy drops whichever it sees second)
+                if self.policy.uses_heap:
+                    heapq.heappush(
+                        self._heap, (self._load[name], self._rank[name], name)
+                    )
 
     @property
     def alive_count(self) -> int:
@@ -97,6 +121,7 @@ class ProviderManager:
         page_sizes: Sequence[int],
         replication: int = 1,
         prefer: Optional[str] = None,
+        exclude: Sequence[str] = (),
     ) -> List[Tuple[str, ...]]:
         """Choose providers for each of a write's pages.
 
@@ -104,55 +129,76 @@ class ProviderManager:
         page, primary first. *prefer* (e.g. the client's own machine)
         wins the primary slot for the first page when it is alive and
         not overloaded relative to the cluster median — a mild locality
-        bias that never defeats load balancing.
+        bias that never defeats load balancing. *exclude* temporarily
+        bars specific providers (re-replication uses it to avoid the
+        copies a page already has).
         """
         if replication < 1:
             raise ValueError("replication must be >= 1")
         with self._lock:
-            alive_count = len(self._load) - len(self._down)
-            if alive_count < replication:
-                raise ReplicationError(
-                    f"need {replication} distinct providers, "
-                    f"only {alive_count} alive"
-                )
-            load, rank, heap = self._load, self._rank, self._heap
-            result: List[Tuple[str, ...]] = []
-            for i, size in enumerate(page_sizes):
-                if size <= 0:
-                    raise ValueError("page size must be positive")
-                chosen = self._pick(replication, prefer if i == 0 else None)
-                for name in chosen:
-                    new_load = load[name] + size
-                    load[name] = new_load
+            barred = [
+                n for n in exclude if n in self._load and n not in self._down
+            ]
+            self._down.update(barred)
+            try:
+                return self._allocate_locked(page_sizes, replication, prefer)
+            finally:
+                self._down.difference_update(barred)
+                if self.policy.uses_heap:
+                    # barred entries may have been popped-and-discarded
+                    # as "down" during the pick; restore current ones
+                    for name in barred:
+                        heapq.heappush(
+                            self._heap,
+                            (self._load[name], self._rank[name], name),
+                        )
+
+    def _allocate_locked(
+        self,
+        page_sizes: Sequence[int],
+        replication: int,
+        prefer: Optional[str],
+    ) -> List[Tuple[str, ...]]:
+        alive_count = len(self._load) - len(self._down)
+        if alive_count < replication:
+            raise ReplicationError(
+                f"need {replication} distinct providers, "
+                f"only {alive_count} alive"
+            )
+        load, rank, heap = self._load, self._rank, self._heap
+        maintain_heap = self.policy.uses_heap
+        result: List[Tuple[str, ...]] = []
+        touched: set[str] = set()
+        for i, size in enumerate(page_sizes):
+            if size <= 0:
+                raise ValueError("page size must be positive")
+            chosen = self._pick(replication, prefer if i == 0 else None)
+            for name in chosen:
+                new_load = load[name] + size
+                load[name] = new_load
+                if maintain_heap:
                     heapq.heappush(heap, (new_load, rank[name], name))
-                result.append(tuple(chosen))
-                self._c_pages.inc()
-                self._c_bytes.inc(float(size) * replication)
-            self._c_allocations.inc()
+            result.append(tuple(chosen))
             if self._track_imbalance:
-                loads = [v for n, v in load.items() if n not in self._down]
-                mean = sum(loads) / len(loads)
-                self._g_imbalance.set(max(loads) / mean if mean > 0 else 1.0)
-            return result
+                touched.update(chosen)
+            self._c_pages.inc()
+            self._c_bytes.inc(float(size) * replication)
+        self._c_allocations.inc()
+        if self._track_imbalance:
+            loads = [v for n, v in load.items() if n not in self._down]
+            mean = sum(loads) / len(loads)
+            self._g_imbalance.set(max(loads) / mean if mean > 0 else 1.0)
+            for name in touched:
+                self._registry.gauge(f"pm.load.{name}").set(float(load[name]))
+        return result
 
     def _pick(self, replication: int, prefer: Optional[str]) -> List[str]:
-        chosen: List[str] = []
-        if prefer is not None and prefer in self._load and prefer not in self._down:
-            loads = sorted(
-                v for n, v in self._load.items() if n not in self._down
-            )
-            median = loads[len(loads) // 2]
-            if self._load[prefer] <= median:
-                chosen.append(prefer)
-        if len(chosen) >= replication:
-            return chosen[:replication]
-        load, down, heap = self._load, self._down, self._heap
-        while len(chosen) < replication:
-            lo, _r, name = heapq.heappop(heap)
-            if name in down or load[name] != lo or name in chosen:
-                continue  # failed, stale, or duplicate entry: discard
-            chosen.append(name)
-        return chosen
+        chosen = self.policy.pick(self, replication, prefer)
+        assert len(chosen) >= replication, (
+            f"policy {self.policy.name!r} returned {len(chosen)} providers "
+            f"for replication {replication}"
+        )
+        return chosen[:replication]
 
     # -- introspection --------------------------------------------------------------
 
@@ -165,6 +211,15 @@ class ProviderManager:
         """Copy of the allocation table."""
         with self._lock:
             return dict(self._load)
+
+    def down_snapshot(self) -> List[str]:
+        """Currently excluded providers, sorted."""
+        with self._lock:
+            return sorted(self._down)
+
+    def rack_of(self, name: str) -> Optional[str]:
+        """The provider's rack, when the deployment declared a topology."""
+        return self._topology.get(name)
 
     def imbalance(self) -> float:
         """Max/mean load ratio across alive providers (1.0 = perfect)."""

@@ -22,6 +22,7 @@ from ..sim.cluster import SimCluster
 from ..sim.core import Event
 from ..sim.metrics import Metrics
 from .metadata.dht import MetadataDHT
+from .placement import make_placement_policy
 from .protocol import BlobSeerProtocol, compute_layout
 from .provider_manager import ProviderManager
 from .sim_vm import SimVMService
@@ -64,8 +65,17 @@ class SimBlobSeer:
         self.obs = obs or NULL_OBS
         self.core = VersionManagerCore(self.obs)
         self.dht = MetadataDHT(len(roles.metadata_providers))
+        topology = {
+            name: rack
+            for name in roles.data_providers
+            if (rack := cluster.node(name).net.rack) is not None
+        }
         self.provider_manager = ProviderManager(
-            list(roles.data_providers), seed=cluster.config.seed, obs=self.obs
+            list(roles.data_providers),
+            seed=cluster.config.seed,
+            obs=self.obs,
+            policy=make_placement_policy(self.config.placement_policy),
+            topology=topology,
         )
         self.metrics = Metrics()
 
@@ -91,6 +101,19 @@ class SimBlobSeer:
             obs=self.obs,
             metrics=self.metrics,
         )
+        self.replicator = None
+        if self.config.rereplication:
+            from .rereplication import HotPageReplicator
+
+            # the daemon runs on the provider-manager machine; each
+            # periodic tick launches one scan as a simulated process
+            self.replicator = HotPageReplicator(
+                self.protocol, roles.provider_manager, obs=self.obs
+            )
+            self.env.every(
+                self.config.rereplication_period_s,
+                lambda: self.env.process(self.replicator.scan()),
+            )
 
     # -- blob lifecycle -------------------------------------------------------
 

@@ -269,6 +269,9 @@ def _bench_main(args, config) -> int:
         clients=50 if args.scale == "quick" else 200,
         duration_s=3.0 if args.scale == "quick" else 10.0,
     )
+    from .policybench import matrix_text, run_policy_matrix
+
+    policy_matrix = run_policy_matrix(scale=args.scale)
     doc = to_json_dict(
         runs,
         scale=args.scale,
@@ -276,6 +279,7 @@ def _bench_main(args, config) -> int:
         kernel=kernel,
         metadata=metadata,
         http_loadtest=http_loadtest,
+        policy_matrix=policy_matrix,
     )
     with open(args.bench_out, "w") as fp:
         json.dump(doc, fp, indent=2)
@@ -294,6 +298,8 @@ def _bench_main(args, config) -> int:
         )
     print("[http loadtest]")
     print("  " + http_loadtest.to_text().replace("\n", "\n  "))
+    print("[policy matrix]")
+    print("  " + matrix_text(policy_matrix).replace("\n", "\n  "))
     for run in runs:
         print(f"[{run.allocator}]")
         for name, fb in run.figures.items():

@@ -298,7 +298,18 @@ class BlobServer:
         return Response.json({"status": "ok"})
 
     async def _h_metrics(self, request: Request, client: str) -> Response:
-        return Response.json(self.obs.registry.snapshot())
+        doc = self.obs.registry.snapshot()
+        # the storage-plane placement view rides along: which policy is
+        # routing pages, per-provider byte loads, and who is down (the
+        # placement.* counters are already in the snapshot proper)
+        pm = self.service.provider_manager
+        doc["placement"] = {
+            "policy": pm.policy.name,
+            "read_policy": self.service.protocol.read_policy.name,
+            "provider_load": pm.load_snapshot(),
+            "down": pm.down_snapshot(),
+        }
+        return Response.json(doc)
 
     # -- handlers: blob plane ------------------------------------------------
 

@@ -1,0 +1,183 @@
+"""The adaptive re-replication loop: hot-page promotion and crash repair."""
+
+import pytest
+
+from repro.blobseer.client import BlobSeerService
+from repro.blobseer.rereplication import HotPageReplicator, ReplicaDirectory
+from repro.common.config import BlobSeerConfig
+from repro.obs import Observability
+
+PAGE = 4096
+
+
+def _service(obs=None, **cfg_kw):
+    defaults = dict(
+        page_size=PAGE,
+        replication=2,
+        rereplication=True,
+        hot_page_threshold=3,
+        rereplication_max=3,
+    )
+    defaults.update(cfg_kw)
+    return BlobSeerService(
+        config=BlobSeerConfig(**defaults), n_providers=6, seed=3, obs=obs
+    )
+
+
+# -- directory ----------------------------------------------------------------
+
+
+def test_directory_tracks_placement_and_heat():
+    d = ReplicaDirectory()
+    d.note_page("pg", ("a", "b"), 100)
+    d.note_read("pg")
+    d.note_read("pg")
+    [(page_id, providers, nbytes, reads)] = d.snapshot()
+    assert (page_id, providers, nbytes, reads) == ("pg", ("a", "b"), 100, 2)
+    # snapshot resets heat
+    [(_, _, _, reads2)] = d.snapshot()
+    assert reads2 == 0
+
+
+def test_directory_extends_known_providers():
+    d = ReplicaDirectory()
+    d.note_page("pg", ("a", "b"), 100)
+    d.add_replica("pg", "c")
+    d.add_replica("pg", "c")  # duplicate ignored
+    assert d.providers_for("pg", ("a", "b")) == ("a", "b", "c")
+    assert d.replica_count("pg") == 3
+    # unknown pages pass through untouched
+    assert d.providers_for("ghost", ("x",)) == ("x",)
+
+
+def test_replicator_requires_directory():
+    svc = BlobSeerService(config=BlobSeerConfig(), n_providers=2, seed=0)
+    try:
+        with pytest.raises(ValueError, match="rereplication"):
+            HotPageReplicator(svc.protocol, "daemon")
+    finally:
+        svc.close()
+
+
+# -- hot-page promotion -------------------------------------------------------
+
+
+def test_hot_page_gains_replica():
+    obs = Observability.on()
+    svc = _service(obs=obs)
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"h" * PAGE)
+        client.append(blob, b"c" * PAGE)
+        for _ in range(4):  # heat page 0 past the threshold
+            client.read(blob, 0, PAGE)
+        assert svc.rereplicate_once() == 1
+        directory = svc.protocol.directory
+        counts = sorted(
+            directory.replica_count(pid) for pid in list(directory._pages)
+        )
+        assert counts == [2, 3]  # only the hot page promoted
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["placement.rereplications"] == 1
+        assert snap["counters"]["placement.hot_pages"] == 1
+    finally:
+        svc.close()
+
+
+def test_cold_pages_left_alone():
+    svc = _service()
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"c" * PAGE)
+        client.read(blob, 0, PAGE)  # below threshold
+        assert svc.rereplicate_once() == 0
+    finally:
+        svc.close()
+
+
+def test_replica_ceiling_respected():
+    svc = _service(rereplication_max=2)  # ceiling == configured replication
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"h" * PAGE)
+        for _ in range(10):
+            client.read(blob, 0, PAGE)
+        assert svc.rereplicate_once() == 0  # already at the ceiling
+    finally:
+        svc.close()
+
+
+def test_extra_replica_serves_reads():
+    svc = _service()
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"h" * PAGE)
+        for _ in range(4):
+            client.read(blob, 0, PAGE)
+        assert svc.rereplicate_once() == 1
+        directory = svc.protocol.directory
+        [page_id] = list(directory._pages)
+        providers = directory.providers_for(page_id, ())
+        # crash every original holder; only the re-replicated copy serves
+        for name in providers[:-1]:
+            svc.fail_provider(name)
+        assert client.read(blob, 0, PAGE) == b"h" * PAGE
+    finally:
+        svc.close()
+
+
+# -- crash repair -------------------------------------------------------------
+
+
+def test_crash_repair_restores_replication():
+    obs = Observability.on()
+    svc = _service(obs=obs)
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"r" * PAGE)
+        directory = svc.protocol.directory
+        [page_id] = list(directory._pages)
+        victim = directory.providers_for(page_id, ())[0]
+        svc.fail_provider(victim)
+        assert svc.rereplicate_once() == 1  # back to replication=2 live
+        live = [
+            p
+            for p in directory.providers_for(page_id, ())
+            if not svc.engine.is_down(p)
+        ]
+        assert len(live) == 2
+        assert client.read(blob, 0, PAGE) == b"r" * PAGE
+    finally:
+        svc.close()
+
+
+def test_repair_skips_when_no_live_source():
+    svc = _service()
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"x" * PAGE)
+        directory = svc.protocol.directory
+        [page_id] = list(directory._pages)
+        for name in directory.providers_for(page_id, ()):
+            svc.fail_provider(name)
+        assert svc.rereplicate_once() == 0  # nothing the daemon can do
+    finally:
+        svc.close()
+
+
+def test_scan_idempotent_when_healthy():
+    svc = _service()
+    try:
+        client = svc.client("c0")
+        blob = client.create_blob()
+        client.append(blob, b"s" * (3 * PAGE))
+        assert svc.rereplicate_once() == 0
+        assert svc.rereplicate_once() == 0
+    finally:
+        svc.close()

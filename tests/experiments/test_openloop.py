@@ -193,7 +193,7 @@ class TestBenchDocument:
         assert "kernel_microbench" in doc
         assert doc["kernel_microbench"]["ring"]["events"] >= 2_000
         assert doc["metadata_microbench"]["batch"]["node_ops"] > 0
-        assert json.loads(text)["schema"] == "repro-bench-sim/v5"
+        assert json.loads(text)["schema"] == "repro-bench-sim/v6"
 
 
 class TestKernelBench:

@@ -1,0 +1,53 @@
+"""The policy-matrix benchmark: every cell runs, reports honestly."""
+
+from repro.experiments.policybench import (
+    PLACEMENT_POLICIES,
+    READ_POLICIES,
+    matrix_text,
+    run_append_cell,
+    run_chaos_cell,
+    run_engine_smoke,
+    run_policy_matrix,
+    run_wordcount_cell,
+)
+
+
+def test_wordcount_cell_correct_under_quorum():
+    cell = run_wordcount_cell("rack_aware", "quorum", corpus_bytes=5_000)
+    assert cell["ok"]
+    assert cell["quorum_reads"] > 0
+    assert 0.0 <= cell["locality"] <= 1.0
+
+
+def test_append_cell_quorum_costs_more_fetches():
+    sweep = run_append_cell("least_loaded", "sweep", appends_per_client=3)
+    quorum = run_append_cell("least_loaded", "quorum", appends_per_client=3)
+    assert sweep["ok"] and quorum["ok"]
+    assert sweep["quorum_reads"] == 0
+    assert quorum["quorum_reads"] > 0
+    # contacting R replicas per read costs extra simulated events
+    assert quorum["sim_events"] > sweep["sim_events"]
+
+
+def test_chaos_cell_restores_replicas():
+    cell = run_chaos_cell("least_loaded", "sweep")
+    assert cell["ok"]
+    assert cell["replicas_after_crash"] < cell["replicas_before"]
+    assert cell["replicas_after_repair"] >= cell["replicas_before"]
+    assert cell["rereplications"] >= 1
+
+
+def test_engine_smoke_passes_on_all_runtimes():
+    results = run_engine_smoke()
+    assert set(results) == {"des", "threaded", "asyncio"}
+    assert all(r["ok"] for r in results.values())
+
+
+def test_full_matrix_shape_and_text():
+    doc = run_policy_matrix()
+    assert len(doc["cells"]) == len(PLACEMENT_POLICIES) * len(READ_POLICIES)
+    for cell in doc["cells"]:
+        for col in ("wordcount", "append", "chaos"):
+            assert cell[col]["ok"], (cell["placement"], cell["read"], col)
+    text = matrix_text(doc)
+    assert "rack_aware" in text and "quorum" in text

@@ -96,7 +96,7 @@ class TestCLI:
         rc = cli_main(["fig3", "--bench-out", str(out), "--bench-repeats", "1"])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench-sim/v5"
+        assert doc["schema"] == "repro-bench-sim/v6"
         allocs = [r["allocator"] for r in doc["runs"]]
         assert allocs == ["reference", "incremental"]
         for run in doc["runs"]:

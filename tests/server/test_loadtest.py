@@ -58,6 +58,6 @@ class TestBenchIntegration:
             clients=2, duration_s=0.2, op_bytes=128, n_files=1, n_providers=2
         )
         doc = to_json_dict([], scale="quick", repeats=1, http_loadtest=result)
-        assert doc["schema"] == SCHEMA == "repro-bench-sim/v5"
+        assert doc["schema"] == SCHEMA == "repro-bench-sim/v6"
         assert doc["http_loadtest"]["failed"] == 0
         assert "p99" in doc["http_loadtest"]["latency_s"]
